@@ -1,0 +1,141 @@
+// Benchmark harness: one testing.B target per reproduced experiment
+// (DESIGN.md §2 maps each to the paper's claim), plus micro-benchmarks of
+// the core construction at increasing scale. Regenerate the experiment
+// tables themselves with `go run ./cmd/experiments`.
+package mpcspanner
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcspanner/internal/bench"
+	"mpcspanner/internal/dist"
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/mpc"
+	"mpcspanner/internal/spanner"
+)
+
+// benchCfg keeps benchmark iterations affordable; cmd/experiments runs the
+// full sizes recorded in EXPERIMENTS.md.
+func benchCfg() bench.Config { return bench.Config{Quick: true, Seed: 2024} }
+
+func runTable(b *testing.B, gen func(bench.Config) bench.Table) {
+	b.Helper()
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tb := gen(cfg)
+		if len(tb.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkT1GeneralTradeoff(b *testing.B)      { runTable(b, bench.T1GeneralTradeoff) }
+func BenchmarkT2ClusterMerge(b *testing.B)         { runTable(b, bench.T2ClusterMerge) }
+func BenchmarkT3StretchEps(b *testing.B)           { runTable(b, bench.T3StretchEps) }
+func BenchmarkT4NearLinear(b *testing.B)           { runTable(b, bench.T4NearLinear) }
+func BenchmarkT5SqrtK(b *testing.B)                { runTable(b, bench.T5SqrtK) }
+func BenchmarkT6ClusterMergeWeighted(b *testing.B) { runTable(b, bench.T6ClusterMergeWeighted) }
+func BenchmarkT7Unweighted(b *testing.B)           { runTable(b, bench.T7Unweighted) }
+func BenchmarkT8MPCRounds(b *testing.B)            { runTable(b, bench.T8MPCRounds) }
+func BenchmarkT9APSP(b *testing.B)                 { runTable(b, bench.T9APSP) }
+func BenchmarkT10CongestedClique(b *testing.B)     { runTable(b, bench.T10CongestedClique) }
+func BenchmarkT11PRAMDepth(b *testing.B)           { runTable(b, bench.T11PRAMDepth) }
+func BenchmarkT12Baseline(b *testing.B)            { runTable(b, bench.T12Baseline) }
+func BenchmarkF1TradeoffCurve(b *testing.B)        { runTable(b, bench.F1TradeoffCurve) }
+func BenchmarkF2SizeCurve(b *testing.B)            { runTable(b, bench.F2SizeCurve) }
+func BenchmarkF3ApproxCDF(b *testing.B)            { runTable(b, bench.F3ApproxCDF) }
+func BenchmarkA1EqualRoundBudget(b *testing.B)     { runTable(b, bench.A1EqualRoundBudget) }
+func BenchmarkA2RepetitionPicker(b *testing.B)     { runTable(b, bench.A2RepetitionPicker) }
+
+// --- Core construction micro-benchmarks -------------------------------
+
+func benchGraph(n int) *graph.Graph {
+	return graph.GNP(n, 12/float64(n), graph.UniformWeight(1, 100), 7)
+}
+
+func BenchmarkGeneralSpanner(b *testing.B) {
+	for _, n := range []int{10_000, 50_000, 200_000} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d/k=16/t=4", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := spanner.General(g, 16, 4, spanner.Options{Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(r.Size()), "spanner-edges")
+			}
+		})
+	}
+}
+
+func BenchmarkClusterMergeVsBaswanaSen(b *testing.B) {
+	g := benchGraph(50_000)
+	b.Run("cluster-merge/k=16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := spanner.ClusterMerge(g, 16, spanner.Options{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("baswana-sen/k=16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := spanner.BaswanaSen(g, 16, spanner.Options{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkMPCDriver(b *testing.B) {
+	g := benchGraph(20_000)
+	for _, gamma := range []float64{0.5, 0.33} {
+		b.Run(fmt.Sprintf("gamma=%.2f", gamma), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := mpc.BuildSpanner(g, 8, 2, gamma, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(r.Rounds), "mpc-rounds")
+			}
+		})
+	}
+}
+
+func BenchmarkUnweightedSpanner(b *testing.B) {
+	g := graph.GNP(20_000, 12.0/20_000, graph.UnitWeight, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spanner.Unweighted(g, 3, spanner.UnweightedOptions{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	g := benchGraph(100_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := dist.Dijkstra(g, i%g.N())
+		if len(d) != g.N() {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkStretchVerification(b *testing.B) {
+	g := benchGraph(20_000)
+	r, err := spanner.General(g, 8, 3, spanner.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := r.Spanner(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.SampledEdgeStretch(g, h, 200, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command apsp demonstrates the paper's distance-approximation application
+// (Section 7 / Corollary 1.4): it builds the near-linear-size spanner on the
+// simulated MPC cluster, collects it to one machine, and answers distance
+// queries with the certified O(log^{1+o(1)} n) approximation.
+//
+//	go run ./cmd/apsp -n 5000 -deg 10 -queries 5
+//	go run ./cmd/apsp -n 5000 -clique        # Corollary 1.5 in the Congested Clique
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mpcspanner"
+	"mpcspanner/internal/dist"
+)
+
+func main() {
+	n := flag.Int("n", 5000, "vertices")
+	deg := flag.Float64("deg", 10, "average degree")
+	maxW := flag.Float64("maxw", 100, "maximum edge weight")
+	t := flag.Int("t", 0, "epoch length (0 = Corollary 1.4 default loglog n)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	queries := flag.Int("queries", 3, "sample source vertices to query and check")
+	clique := flag.Bool("clique", false, "run the Congested Clique variant (Corollary 1.5)")
+	flag.Parse()
+
+	g := mpcspanner.Connectify(
+		mpcspanner.GNP(*n, *deg/float64(*n), mpcspanner.UniformWeight(1, *maxW), *seed), *maxW)
+	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
+
+	if *clique {
+		res, err := mpcspanner.ApproxAPSPCongestedClique(g, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("congested clique: k=%d t=%d spannerRounds=%d collectRounds=%d total=%d\n",
+			res.K, res.T, res.SpannerRounds, res.CollectionRounds, res.Rounds)
+		fmt.Printf("spanner: %d edges, certified approximation <= %.2f\n",
+			len(res.SpannerEdgeIDs), res.Bound)
+		rep, err := res.MeasureApproximation(*queries, *seed+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("measured over %d pairs: max %.3f, mean %.3f\n", rep.Checked, rep.Max, rep.Mean)
+		return
+	}
+
+	res, err := mpcspanner.ApproxAPSP(g, mpcspanner.APSPOptions{Seed: *seed, T: *t})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mpc: k=%d t=%d buildRounds=%d collectRounds=%d total=%d\n",
+		res.K, res.T, res.BuildRounds, res.CollectRounds, res.Rounds)
+	fmt.Printf("spanner: %d edges, fits Õ(n)=%d words on one machine: %v, bound <= %.2f\n",
+		res.SpannerSize, res.CollectorWords, res.FitsOneMachine, res.Bound)
+
+	for q := 0; q < *queries; q++ {
+		src := int(uint64(q)*2654435761+*seed) % g.N()
+		approx := res.DistancesFrom(src)
+		exact := dist.Dijkstra(g, src)
+		worst, at := 0.0, -1
+		for v := range exact {
+			if exact[v] > 0 && exact[v] != dist.Inf {
+				if r := approx[v] / exact[v]; r > worst {
+					worst, at = r, v
+				}
+			}
+		}
+		fmt.Printf("query src=%d: worst ratio %.3f (at vertex %d)\n", src, worst, at)
+	}
+}

@@ -1,0 +1,47 @@
+// Command experiments regenerates every reproduced table and figure
+// (DESIGN.md §2, recorded in EXPERIMENTS.md):
+//
+//	go run ./cmd/experiments            # full sizes (a few minutes)
+//	go run ./cmd/experiments -quick     # reduced sizes
+//	go run ./cmd/experiments -only T9   # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mpcspanner/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced instance sizes")
+	seed := flag.Uint64("seed", 2024, "master seed for workloads and algorithms")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. T1,T9,F1)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	start := time.Now()
+	ran := 0
+	for _, tb := range bench.All(cfg) {
+		if len(want) > 0 && !want[tb.ID] {
+			continue
+		}
+		fmt.Println(tb.Format())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched -only=%q\n", *only)
+		os.Exit(1)
+	}
+	fmt.Printf("ran %d experiments in %s (quick=%v, seed=%d)\n", ran, time.Since(start).Round(time.Millisecond), *quick, *seed)
+}

@@ -1,0 +1,154 @@
+// Command spanner builds a spanner for a generated or file-loaded graph and
+// reports the structural costs the paper's theorems bound:
+//
+//	go run ./cmd/spanner -gen gnp -n 100000 -deg 12 -k 16 -t 4
+//	go run ./cmd/spanner -in graph.txt -algo baswana-sen -k 8
+//	go run ./cmd/spanner -gen grid -n 40000 -k 8 -mpc -gamma 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"mpcspanner"
+	"mpcspanner/internal/dist"
+	"mpcspanner/internal/graph"
+)
+
+func main() {
+	gen := flag.String("gen", "gnp", "generator: gnp|grid|pa|rgg|torus|cycle")
+	in := flag.String("in", "", "read graph from file (overrides -gen)")
+	n := flag.Int("n", 10000, "vertices")
+	deg := flag.Float64("deg", 10, "average degree (gnp) / attachment degree (pa)")
+	maxW := flag.Float64("maxw", 100, "maximum edge weight (1 = unweighted)")
+	algo := flag.String("algo", "general", "general|cluster-merge|sqrt-k|baswana-sen|unweighted")
+	k := flag.Int("k", 8, "stretch parameter")
+	t := flag.Int("t", 0, "epoch length (0 = log k default)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	useMPC := flag.Bool("mpc", false, "run on the simulated MPC cluster and report rounds")
+	gamma := flag.Float64("gamma", 0.5, "memory exponent for -mpc")
+	verify := flag.Int("verify", 2000, "edges to sample for stretch verification (0 = skip)")
+	out := flag.String("out", "", "write the spanner subgraph to this file")
+	flag.Parse()
+
+	g, err := makeGraph(*in, *gen, *n, *deg, *maxW, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
+
+	if *useMPC {
+		tt := *t
+		if tt <= 0 {
+			tt = defaultT(*k)
+		}
+		res, err := mpcspanner.BuildSpannerMPC(g, *k, tt, *gamma, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("mpc: rounds=%d machines=%d S=%d peakLoad=%d sorts=%d treeOps=%d moved=%d\n",
+			res.Rounds, res.Machines, res.MemoryPerMachine, res.PeakMachineLoad,
+			res.Sorts, res.TreeOps, res.TuplesMoved)
+		report(g, res.EdgeIDs, mpcspanner.StretchBound(*k, tt), *verify, *seed, *out)
+		return
+	}
+
+	if *algo == "unweighted" {
+		res, err := mpcspanner.BuildUnweightedSpanner(g, *k, mpcspanner.UnweightedOptions{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("unweighted: sparse=%d dense=%d |Z|=%d rounds=%d\n",
+			res.Stats.SparseCount, res.Stats.DenseCount, res.Stats.HittingSetSize, res.Stats.Rounds)
+		report(g, res.EdgeIDs, res.Stats.StretchBound, *verify, *seed, *out)
+		return
+	}
+
+	res, err := mpcspanner.BuildSpanner(g, mpcspanner.SpannerOptions{
+		Algorithm: mpcspanner.Algorithm(*algo), K: *k, T: *t, Seed: *seed, MeasureRadius: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("%s: k=%d t=%d iterations=%d epochs=%d phase1=%d phase2=%d radiusHops=%d\n",
+		st.Algorithm, st.K, st.T, st.Iterations, st.Epochs, st.Phase1Edges, st.Phase2Edges,
+		st.Radius.MaxHops)
+	bound := mpcspanner.StretchBound(st.K, st.T)
+	if st.Algorithm == "baswana-sen" {
+		bound = float64(2*st.K - 1)
+	}
+	report(g, res.EdgeIDs, bound, *verify, *seed, *out)
+}
+
+func defaultT(k int) int {
+	t := int(math.Ceil(math.Log2(float64(k))))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func makeGraph(in, gen string, n int, deg, maxW float64, seed uint64) (*graph.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadFrom(f)
+	}
+	w := graph.UnitWeight
+	if maxW > 1 {
+		w = graph.UniformWeight(1, maxW)
+	}
+	side := int(math.Sqrt(float64(n)))
+	switch gen {
+	case "gnp":
+		return graph.GNP(n, deg/float64(n), w, seed), nil
+	case "grid":
+		return graph.Grid(side, side, w, seed), nil
+	case "torus":
+		return graph.Torus(side, side, w, seed), nil
+	case "pa":
+		return graph.PreferentialAttachment(n, int(math.Max(1, deg)), w, seed), nil
+	case "rgg":
+		return graph.RandomGeometric(n, math.Sqrt(deg/(math.Pi*float64(n))), true, w, seed), nil
+	case "cycle":
+		return graph.Cycle(n, w, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}
+
+func report(g *graph.Graph, ids []int, bound float64, verify int, seed uint64, out string) {
+	ratio := float64(len(ids)) / float64(g.M())
+	fmt.Printf("spanner: %d edges (%.1f%% of input), certified stretch <= %.2f\n",
+		len(ids), 100*ratio, bound)
+	if verify > 0 {
+		h := g.Subgraph(ids)
+		rep, err := dist.SampledEdgeStretch(g, h, verify, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("verify: %d edges sampled, max stretch %.3f, mean %.3f (bound %.2f)\n",
+			rep.Checked, rep.Max, rep.Mean, bound)
+		if rep.Max > bound+1e-9 {
+			log.Fatalf("STRETCH VIOLATION: measured %.3f > bound %.3f", rep.Max, bound)
+		}
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := g.Subgraph(ids).Write(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote spanner to %s\n", out)
+	}
+}

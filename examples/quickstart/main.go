@@ -1,0 +1,43 @@
+// Quickstart: build a spanner with the public API, inspect its guarantees,
+// and verify the stretch empirically.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpcspanner"
+)
+
+func main() {
+	// A weighted random graph: 5 000 vertices, average degree ~12.
+	g := mpcspanner.GNP(5000, 12.0/5000, mpcspanner.UniformWeight(1, 100), 42)
+	fmt.Printf("input graph: %d vertices, %d edges\n", g.N(), g.M())
+
+	// Build a spanner with the paper's general algorithm at its t = log k
+	// sweet spot: stretch k^{1+o(1)} in O(log²k/log log k) iterations.
+	res, err := mpcspanner.BuildSpanner(g, mpcspanner.SpannerOptions{
+		K:             8,
+		Seed:          1,
+		MeasureRadius: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("spanner: %d edges (%.1f%% of input)\n", res.Size(), 100*float64(res.Size())/float64(g.M()))
+	fmt.Printf("cost: %d grow iterations, %d contraction epochs (vs %d iterations for [BS07])\n",
+		st.Iterations, st.Epochs, st.K-1)
+	fmt.Printf("cluster-tree radius: %d hops / %.1f weighted\n", st.Radius.MaxHops, st.Radius.MaxWeighted)
+
+	// The paper's guarantee, and the truth on this instance.
+	bound := mpcspanner.StretchBound(st.K, st.T)
+	rep, err := mpcspanner.Verify(g, res, bound)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stretch: measured max %.3f over all %d edges — certified bound %.2f\n",
+		rep.Max, rep.Checked, bound)
+}

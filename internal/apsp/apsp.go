@@ -1,0 +1,146 @@
+// Package apsp implements the paper's primary application (Section 7,
+// Corollary 1.4): O(log^{1+o(1)} n)-approximate all-pairs shortest paths in
+// the near-linear memory regime of MPC, in poly(log log n) rounds.
+//
+// The pipeline is exactly the paper's: build a near-linear-size spanner with
+// k = ⌈log₂ n⌉ (so size O(n^{1+1/k}·(t+log k)) = O(n·log log n) for
+// t = Θ(log log n)) on the simulated sublinear-memory cluster, then collect
+// the whole spanner onto one machine of the near-linear regime — it fits in
+// Õ(n) words — where every distance query is answered locally on the spanner
+// with the certified multiplicative error O(log^s n), s = log(2t+1)/log(t+1).
+package apsp
+
+import (
+	"fmt"
+	"math"
+
+	"mpcspanner/internal/dist"
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/mpc"
+	"mpcspanner/internal/spanner"
+)
+
+// Options configures an APSP approximation run.
+type Options struct {
+	// Seed drives the spanner construction.
+	Seed uint64
+
+	// T is the epoch length of the underlying spanner build. Zero selects
+	// the Corollary 1.4 default ⌈log₂ log₂ n⌉ (stretch O(log^{1+o(1)} n) in
+	// O(log² log n) rounds); T = 1 gives the faster O(log log n)-round,
+	// O(log^{log 3} n)-approximation variant.
+	T int
+
+	// Gamma is the memory exponent of the machines used to *build* the
+	// spanner (they stay in the strongly sublinear regime). Zero means 1/2.
+	Gamma float64
+}
+
+// Result is a completed Corollary 1.4 run.
+type Result struct {
+	SpannerEdgeIDs []int
+	K, T           int
+
+	BuildRounds   int // simulated rounds of the spanner construction
+	CollectRounds int // rounds to gather the spanner onto one machine
+	Rounds        int // total
+
+	Bound            float64 // certified approximation factor O(log^s n)
+	SpannerSize      int
+	CollectorWords   int  // Õ(n) capacity of the near-linear machine
+	FitsOneMachine   bool // the paper's key memory claim
+	MemoryPerBuilder int  // n^γ capacity of the build-phase machines
+
+	g       *graph.Graph
+	spanner *graph.Graph
+}
+
+// Params returns Corollary 1.4's parameter choice for an n-vertex graph:
+// k = ⌈log₂ n⌉ and (if t is not forced) t = max(1, ⌈log₂ log₂ n⌉).
+func Params(n, forcedT int) (k, t int) {
+	if n < 4 {
+		n = 4
+	}
+	k = int(math.Ceil(math.Log2(float64(n))))
+	if forcedT > 0 {
+		return k, forcedT
+	}
+	t = int(math.Ceil(math.Log2(math.Log2(float64(n)))))
+	if t < 1 {
+		t = 1
+	}
+	return k, t
+}
+
+// Approx runs the Section 7 pipeline.
+func Approx(g *graph.Graph, opt Options) (*Result, error) {
+	if g.N() < 2 {
+		return nil, fmt.Errorf("apsp: need at least two vertices, got %d", g.N())
+	}
+	gamma := opt.Gamma
+	if gamma == 0 {
+		gamma = 0.5
+	}
+	k, t := Params(g.N(), opt.T)
+
+	build, err := mpc.BuildSpanner(g, k, t, gamma, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collection: the spanner moves to a single machine of the near-linear
+	// regime with capacity Õ(n) = n·⌈log₂ n⌉ words. Gathering |ES| tuples
+	// through an aggregation tree of fan-in n^γ costs one tree of rounds.
+	sim, err := mpc.NewSim(g.N(), 2*g.M(), gamma)
+	if err != nil {
+		return nil, err
+	}
+	collectRounds := sim.TreeRounds()
+	if collectRounds < 1 {
+		collectRounds = 1
+	}
+	collectorWords := g.N() * int(math.Ceil(math.Log2(float64(g.N()))))
+	res := &Result{
+		SpannerEdgeIDs:   build.EdgeIDs,
+		K:                k,
+		T:                t,
+		BuildRounds:      build.Rounds,
+		CollectRounds:    collectRounds,
+		Rounds:           build.Rounds + collectRounds,
+		Bound:            spanner.StretchBound(k, t),
+		SpannerSize:      len(build.EdgeIDs),
+		CollectorWords:   collectorWords,
+		FitsOneMachine:   len(build.EdgeIDs) <= collectorWords,
+		MemoryPerBuilder: build.MemoryPerMachine,
+		g:                g,
+		spanner:          g.Subgraph(build.EdgeIDs),
+	}
+	if !res.FitsOneMachine {
+		return res, fmt.Errorf("apsp: spanner of %d edges exceeds the near-linear machine's %d words",
+			res.SpannerSize, collectorWords)
+	}
+	return res, nil
+}
+
+// Spanner returns the collected spanner.
+func (r *Result) Spanner() *graph.Graph { return r.spanner }
+
+// DistancesFrom answers a single-source query on the collected spanner —
+// the local computation of the machine holding it.
+func (r *Result) DistancesFrom(v int) []float64 { return dist.Dijkstra(r.spanner, v) }
+
+// Matrix materializes the full approximate APSP matrix (n² memory; for
+// verification-scale graphs).
+func (r *Result) Matrix() [][]float64 { return dist.APSP(r.spanner) }
+
+// Measure samples the pairwise approximation ratio dist_H/dist_G over
+// `sources` Dijkstra sources.
+func (r *Result) Measure(sources int, seed uint64) (dist.StretchReport, error) {
+	return dist.PairStretch(r.g, r.spanner, sources, seed)
+}
+
+// MeasureCDF returns empirical quantiles of the pairwise approximation
+// distribution (experiment F3).
+func (r *Result) MeasureCDF(sources int, quantiles []float64, seed uint64) ([]float64, error) {
+	return dist.StretchCDF(r.g, r.spanner, sources, quantiles, seed)
+}

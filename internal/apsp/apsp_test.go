@@ -1,0 +1,149 @@
+package apsp
+
+import (
+	"math"
+	"testing"
+
+	"mpcspanner/internal/dist"
+	"mpcspanner/internal/graph"
+)
+
+func TestParams(t *testing.T) {
+	k, tt := Params(1024, 0)
+	if k != 10 {
+		t.Fatalf("k = %d for n=1024", k)
+	}
+	if tt < 1 || tt > 4 {
+		t.Fatalf("t = %d for n=1024", tt)
+	}
+	if _, forced := Params(1024, 7); forced != 7 {
+		t.Fatal("forced t ignored")
+	}
+	if k, tt := Params(2, 0); k < 2 || tt < 1 {
+		t.Fatalf("degenerate params %d %d", k, tt)
+	}
+}
+
+func TestApproxEndToEnd(t *testing.T) {
+	g := graph.Connectify(graph.GNP(500, 0.03, graph.UniformWeight(1, 20), 1), 10)
+	res, err := Approx(g, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FitsOneMachine {
+		t.Fatalf("spanner of %d edges should fit %d words", res.SpannerSize, res.CollectorWords)
+	}
+	if res.Rounds != res.BuildRounds+res.CollectRounds {
+		t.Fatal("round bill does not add up")
+	}
+	rep, err := res.Measure(25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Max > res.Bound+1e-9 {
+		t.Fatalf("approximation %.3f exceeds certified bound %.3f", rep.Max, res.Bound)
+	}
+	if rep.Max < 1 {
+		t.Fatalf("approximation below 1: %v", rep.Max)
+	}
+}
+
+func TestApproxNeverUnderestimates(t *testing.T) {
+	// Spanner distances are distances in a subgraph: they can only grow.
+	g := graph.Connectify(graph.GNP(200, 0.05, graph.UniformWeight(1, 9), 7), 4)
+	res, err := Approx(g, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactFrom0 := dist.Dijkstra(g, 0)
+	approxFrom0 := res.DistancesFrom(0)
+	for v := range exactFrom0 {
+		if approxFrom0[v] < exactFrom0[v]-1e-9 {
+			t.Fatalf("vertex %d: approx %v below exact %v", v, approxFrom0[v], exactFrom0[v])
+		}
+	}
+}
+
+func TestApproxTOneFasterLooser(t *testing.T) {
+	g := graph.Connectify(graph.GNP(600, 0.02, graph.UniformWeight(1, 5), 11), 2)
+	fast, err := Approx(g, Options{Seed: 13, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Approx(g, Options{Seed: 13, T: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.BuildRounds >= slow.BuildRounds {
+		t.Fatalf("t=1 (%d rounds) should build faster than t=8 (%d rounds)",
+			fast.BuildRounds, slow.BuildRounds)
+	}
+	if fast.Bound <= slow.Bound {
+		t.Fatalf("t=1 bound %.1f should be looser than t=8's %.1f", fast.Bound, slow.Bound)
+	}
+}
+
+func TestApproxMatrixConsistent(t *testing.T) {
+	g := graph.Connectify(graph.GNP(80, 0.08, graph.UniformWeight(1, 6), 17), 3)
+	res, err := Approx(g, Options{Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Matrix()
+	for v := 0; v < g.N(); v += 13 {
+		row := res.DistancesFrom(v)
+		for u := range row {
+			if math.Abs(row[u]-m[v][u]) > 1e-9 && !(math.IsInf(row[u], 1) && math.IsInf(m[v][u], 1)) {
+				t.Fatalf("matrix row %d disagrees with single-source at %d", v, u)
+			}
+		}
+	}
+}
+
+func TestApproxCDFQuantiles(t *testing.T) {
+	g := graph.Connectify(graph.GNP(150, 0.06, graph.UnitWeight, 23), 1)
+	res, err := Approx(g, Options{Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := res.MeasureCDF(15, []float64{0, 0.5, 0.99, 1}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs[0] < 1-1e-9 {
+		t.Fatalf("minimum pair ratio %v below 1", qs[0])
+	}
+	if qs[3] > res.Bound+1e-9 {
+		t.Fatalf("maximum quantile %v above certified bound %v", qs[3], res.Bound)
+	}
+	for i := 1; i < len(qs); i++ {
+		if qs[i] < qs[i-1] {
+			t.Fatalf("quantiles not monotone: %v", qs)
+		}
+	}
+}
+
+func TestApproxValidates(t *testing.T) {
+	if _, err := Approx(graph.MustNew(1, nil), Options{}); err == nil {
+		t.Fatal("single-vertex graph accepted")
+	}
+	g := graph.Path(4, graph.UnitWeight, 1)
+	if _, err := Approx(g, Options{Gamma: 2}); err == nil {
+		t.Fatal("gamma=2 accepted")
+	}
+}
+
+func TestApproxDeterministic(t *testing.T) {
+	g := graph.Connectify(graph.GNP(200, 0.04, graph.UniformWeight(1, 3), 37), 1)
+	a, err := Approx(g, Options{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Approx(g, Options{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SpannerSize != b.SpannerSize || a.Rounds != b.Rounds {
+		t.Fatal("APSP pipeline not deterministic")
+	}
+}

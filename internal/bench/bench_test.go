@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("non-numeric cell %q: %v", s, err)
+	}
+	return v
+}
+
+func quickCfg() Config { return Config{Quick: true, Seed: 2024} }
+
+func TestTableFormat(t *testing.T) {
+	tb := Table{ID: "TX", Title: "demo", Claim: "c", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.Note("n=%d", 7)
+	out := tb.Format()
+	for _, want := range []string{"TX — demo", "claim: c", "a", "bb", "note: n=7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllTablesWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep in short mode")
+	}
+	tables := All(quickCfg())
+	if len(tables) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tb := range tables {
+		if tb.ID == "" || tb.Title == "" || tb.Claim == "" {
+			t.Fatalf("table %q lacks metadata", tb.ID)
+		}
+		if seen[tb.ID] {
+			t.Fatalf("duplicate experiment id %s", tb.ID)
+		}
+		seen[tb.ID] = true
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s has no rows", tb.ID)
+		}
+		for i, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Fatalf("%s row %d has %d cells for %d headers", tb.ID, i, len(row), len(tb.Header))
+			}
+		}
+	}
+}
+
+func TestT1BoundsHold(t *testing.T) {
+	tb := T1GeneralTradeoff(quickCfg())
+	// Columns: ..., iters(5), iterBound(6), ..., stretch(9), stretchBound(10).
+	for _, row := range tb.Rows {
+		if cell(t, row[5]) > cell(t, row[6]) {
+			t.Fatalf("iterations exceed bound in row %v", row)
+		}
+		if cell(t, row[9]) > cell(t, row[10])+1e-9 {
+			t.Fatalf("stretch exceeds bound in row %v", row)
+		}
+	}
+}
+
+func TestT5StretchWithinBound(t *testing.T) {
+	tb := T5SqrtK(quickCfg())
+	for _, row := range tb.Rows {
+		if cell(t, row[6]) > cell(t, row[7])+1e-9 {
+			t.Fatalf("sqrt-k stretch exceeds bound in row %v", row)
+		}
+	}
+}
+
+func TestT8CrossPlaneColumn(t *testing.T) {
+	tb := T8MPCRounds(quickCfg())
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("MPC and reference disagreed in row %v", row)
+		}
+		if cell(t, row[5]) > cell(t, row[6]) {
+			t.Fatalf("rounds exceed bound in row %v", row)
+		}
+	}
+}
+
+func TestT9ApproxWithinBound(t *testing.T) {
+	tb := T9APSP(quickCfg())
+	for _, row := range tb.Rows {
+		if row[6] != "true" {
+			t.Fatalf("spanner did not fit one machine: %v", row)
+		}
+		if cell(t, row[7]) > cell(t, row[9])+1e-9 {
+			t.Fatalf("approximation exceeds bound in row %v", row)
+		}
+	}
+}
+
+func TestF1CurveShape(t *testing.T) {
+	tb := F1TradeoffCurve(quickCfg())
+	// Stretch bounds must be non-increasing in t; iteration bounds trend
+	// upward (ceiling effects allow a one-off dip at the t >= k-1 boundary,
+	// e.g. IterationBound(16,8)=16 vs IterationBound(16,15)=15).
+	for i := 1; i < len(tb.Rows); i++ {
+		if cell(t, tb.Rows[i][4]) > cell(t, tb.Rows[i-1][4])+1e-9 {
+			t.Fatalf("stretch bound increased along t at row %d", i)
+		}
+		if cell(t, tb.Rows[i][2]) < cell(t, tb.Rows[0][2]) {
+			t.Fatalf("iteration bound at row %d fell below the t=1 bound", i)
+		}
+	}
+	first, last := cell(t, tb.Rows[0][2]), cell(t, tb.Rows[len(tb.Rows)-1][2])
+	if last < 2*first {
+		t.Fatalf("iteration bound did not grow along t: %v -> %v", first, last)
+	}
+}
+
+func TestT12SeparatesBaselines(t *testing.T) {
+	tb := T12Baseline(quickCfg())
+	// Row order: baswana-sen, sqrt-k, general(log k), cluster-merge.
+	bsIters := cell(t, tb.Rows[0][2])
+	cmIters := cell(t, tb.Rows[3][2])
+	if cmIters >= bsIters {
+		t.Fatalf("cluster-merge iterations %v not below BS07's %v", cmIters, bsIters)
+	}
+}

@@ -1,0 +1,123 @@
+package cclique
+
+import (
+	"fmt"
+
+	"mpcspanner/internal/dist"
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/spanner"
+)
+
+// Per-iteration round constants of the semi-MPC execution (Theorem 8.1):
+// one round carries the O(log n)-bit sampling-outcome word of all parallel
+// runs; three rounds realize the Lemma 6.1 find-minimum/merge subroutines,
+// which collapse to O(1) in Θ(n) memory; one round gathers per-run counts to
+// the run-responsible nodes and announces the chosen run.
+const (
+	roundsSampleWord  = 1
+	roundsSubroutines = 3
+	roundsSelection   = 1
+	roundsPerIter     = roundsSampleWord + roundsSubroutines + roundsSelection
+	roundsPerContract = 1
+)
+
+// SpannerResult is a Congested Clique spanner construction: the spanner
+// plus the clique-level round bill.
+type SpannerResult struct {
+	EdgeIDs []int
+	Rounds  int
+	Stats   spanner.Stats
+	WHP     *spanner.WHPStats
+}
+
+// BuildSpanner runs Theorem 8.1: the general algorithm in the semi-MPC view
+// of the clique, with ⌈log₂ n⌉+1 parallel sampling runs per iteration and
+// the two-event run selection, so the O(n^{1+1/k}(t+log k)) size bound holds
+// w.h.p. at only O(1) extra rounds per iteration.
+func BuildSpanner(g *graph.Graph, k, t int, seed uint64) (*SpannerResult, error) {
+	if g.N() < 1 {
+		return nil, fmt.Errorf("cclique: empty graph")
+	}
+	c, err := New(g.N())
+	if err != nil {
+		return nil, err
+	}
+	res, whp, err := spanner.GeneralWHP(g, k, t, 0, spanner.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	c.ChargeRounds(res.Stats.Iterations * roundsPerIter)
+	c.ChargeRounds(res.Stats.Epochs * roundsPerContract)
+	return &SpannerResult{
+		EdgeIDs: res.EdgeIDs,
+		Rounds:  c.Rounds(),
+		Stats:   res.Stats,
+		WHP:     whp,
+	}, nil
+}
+
+// RoundBound returns the Theorem 8.1 round budget O(t·log k / log(t+1)) with
+// this implementation's explicit constants.
+func RoundBound(k, t int) int {
+	specs := spanner.Schedule(k, t)
+	epochs := 0
+	if len(specs) > 0 {
+		epochs = specs[len(specs)-1].Epoch
+	}
+	return len(specs)*roundsPerIter + epochs*roundsPerContract
+}
+
+// APSPResult is a Corollary 1.5 run: after the spanner is built and
+// collected, every node holds the whole spanner and answers any distance
+// query locally with the certified approximation factor.
+type APSPResult struct {
+	SpannerEdgeIDs   []int
+	SpannerRounds    int
+	CollectionRounds int
+	Rounds           int // total
+	K, T             int
+	Bound            float64 // certified stretch O(log^{1+o(1)} n)
+
+	g       *graph.Graph
+	spanner *graph.Graph
+}
+
+// ApproxAPSP runs Corollary 1.5 end to end: BuildSpanner with k = ⌈log₂ n⌉,
+// t = ⌈log₂ log₂ n⌉, then a Lenzen-routed broadcast of the (near-linear)
+// spanner so that every node can answer distance queries locally.
+func ApproxAPSP(g *graph.Graph, seed uint64) (*APSPResult, error) {
+	k, t := APSPParams(g.N())
+	sp, err := BuildSpanner(g, k, t, seed)
+	if err != nil {
+		return nil, err
+	}
+	c, err := New(g.N())
+	if err != nil {
+		return nil, err
+	}
+	collectRounds := c.BroadcastVolume(len(sp.EdgeIDs))
+	return &APSPResult{
+		SpannerEdgeIDs:   sp.EdgeIDs,
+		SpannerRounds:    sp.Rounds,
+		CollectionRounds: collectRounds,
+		Rounds:           sp.Rounds + collectRounds,
+		K:                k,
+		T:                t,
+		Bound:            spanner.StretchBound(k, t),
+		g:                g,
+		spanner:          g.Subgraph(sp.EdgeIDs),
+	}, nil
+}
+
+// DistancesFrom answers the local computation every node performs after the
+// broadcast: single-source distances on the collected spanner.
+func (r *APSPResult) DistancesFrom(v int) []float64 { return dist.Dijkstra(r.spanner, v) }
+
+// Spanner returns the collected spanner subgraph.
+func (r *APSPResult) Spanner() *graph.Graph { return r.spanner }
+
+// MeasureApproximation samples the pairwise approximation quality
+// dist_spanner / dist_G against the certified bound.
+func (r *APSPResult) MeasureApproximation(sources int, seed uint64) (dist.StretchReport, error) {
+	return dist.PairStretch(r.g, r.spanner, sources, seed)
+}

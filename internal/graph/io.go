@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTo writes g in a simple plain-text edge-list format:
+//
+//	# comment lines start with '#'
+//	n <vertices> <edges>
+//	e <u> <v> <weight>
+//
+// The format round-trips through ReadFrom.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d %d\n", g.n, len(g.edges)); err != nil {
+		return err
+	}
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintf(bw, "e %d %d %g\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom parses the format emitted by WriteTo.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	n, m := -1, -1
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "n "):
+			if n >= 0 {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", line)
+			}
+			if _, err := fmt.Sscanf(text, "n %d %d", &n, &m); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad header: %v", line, err)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative header values", line)
+			}
+			edges = make([]Edge, 0, m)
+		case strings.HasPrefix(text, "e "):
+			if n < 0 {
+				return nil, fmt.Errorf("graph: line %d: edge before header", line)
+			}
+			var e Edge
+			if _, err := fmt.Sscanf(text, "e %d %d %g", &e.U, &e.V, &e.W); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge: %v", line, err)
+			}
+			edges = append(edges, e)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unrecognized record %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: missing header")
+	}
+	if len(edges) != m {
+		return nil, fmt.Errorf("graph: header declared %d edges, found %d", m, len(edges))
+	}
+	return New(n, edges)
+}

@@ -1,0 +1,60 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by size and path halving,
+// giving effectively-constant amortized operations. It is used by the
+// contraction machinery (internal/cluster), the unweighted spanner's
+// auxiliary-graph construction, and several verifiers.
+type UnionFind struct {
+	parent []int32
+	size   []int32
+	sets   int
+}
+
+// NewUnionFind returns a forest of n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		sets:   n,
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+	return u
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	p := int32(x)
+	for u.parent[p] != p {
+		u.parent[p] = u.parent[u.parent[p]] // path halving
+		p = u.parent[p]
+	}
+	return int(p)
+}
+
+// Union merges the sets containing x and y and reports whether they were
+// previously distinct.
+func (u *UnionFind) Union(x, y int) bool {
+	rx, ry := int32(u.Find(x)), int32(u.Find(y))
+	if rx == ry {
+		return false
+	}
+	if u.size[rx] < u.size[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	u.size[rx] += u.size[ry]
+	u.sets--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UnionFind) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// SetSize returns the size of the set containing x.
+func (u *UnionFind) SetSize(x int) int { return int(u.size[u.Find(x)]) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpcspanner/internal/xrand"
+)
+
+// newTestSource gives graph tests a deterministic randomness source.
+func newTestSource() *xrand.Source { return xrand.New(0xdecaf) }
+
+func TestUnionFindBasic(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Sets() != 5 {
+		t.Fatalf("initial sets %d", u.Sets())
+	}
+	if !u.Union(0, 1) {
+		t.Fatal("first union should merge")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("repeated union should report false")
+	}
+	if !u.Same(0, 1) || u.Same(0, 2) {
+		t.Fatal("Same inconsistent")
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if u.Sets() != 2 {
+		t.Fatalf("sets = %d, want 2", u.Sets())
+	}
+	if u.SetSize(1) != 4 {
+		t.Fatalf("set size %d, want 4", u.SetSize(1))
+	}
+	if u.SetSize(4) != 1 {
+		t.Fatalf("singleton size %d", u.SetSize(4))
+	}
+}
+
+func TestUnionFindMatchesComponents(t *testing.T) {
+	g := GNP(300, 0.008, UnitWeight, 11)
+	u := NewUnionFind(g.N())
+	for _, e := range g.Edges() {
+		u.Union(e.U, e.V)
+	}
+	label, count := g.Components()
+	if u.Sets() != count {
+		t.Fatalf("union-find sets %d vs BFS components %d", u.Sets(), count)
+	}
+	for v := 1; v < g.N(); v++ {
+		if (label[v] == label[0]) != u.Same(v, 0) {
+			t.Fatalf("vertex %d: union-find and BFS disagree", v)
+		}
+	}
+}
+
+func TestUnionFindProperty(t *testing.T) {
+	// Property: after arbitrary unions, Find is idempotent, Same is an
+	// equivalence relation consistent with the unions performed, and set
+	// sizes sum to n.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		const n = 64
+		u := NewUnionFind(n)
+		type pair struct{ a, b int }
+		var done []pair
+		for i := 0; i < 80; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a == b {
+				continue
+			}
+			u.Union(a, b)
+			done = append(done, pair{a, b})
+		}
+		for _, p := range done {
+			if !u.Same(p.a, p.b) {
+				return false
+			}
+		}
+		roots := make(map[int]bool)
+		total := 0
+		for v := 0; v < n; v++ {
+			root := u.Find(v)
+			if u.Find(root) != root {
+				return false
+			}
+			if !roots[root] {
+				roots[root] = true
+				total += u.SetSize(root)
+			}
+		}
+		return total == n && len(roots) == u.Sets()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

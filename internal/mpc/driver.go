@@ -1,0 +1,338 @@
+package mpc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/spanner"
+	"mpcspanner/internal/xrand"
+)
+
+// none marks a dead label.
+const none = int32(-1)
+
+// Result reports a distributed spanner construction: the spanner itself plus
+// the simulated-cluster cost profile that Theorem 1.1 bounds.
+type Result struct {
+	EdgeIDs []int
+
+	Rounds           int // simulated MPC rounds (Theorem 1.1's O((1/γ)·t·log k/log(t+1)))
+	Iterations       int // grow iterations executed
+	Epochs           int // contractions executed
+	Machines         int
+	MemoryPerMachine int   // S = ⌈n^γ⌉ tuples
+	PeakMachineLoad  int   // never exceeds S (validated every primitive)
+	PeakTotalTuples  int   // never exceeds the initial 2m footprint
+	Sorts            int   // global sorts executed
+	TreeOps          int   // aggregation-tree operations executed
+	TuplesMoved      int64 // total communication volume in tuples
+}
+
+// BuildSpanner executes the general algorithm (Section 5) on the simulated
+// MPC cluster with memory exponent gamma, following Section 6's
+// implementation: edges live as directed tuple pairs carrying cluster
+// labels; every iteration is one sort + segmented minima/decisions +
+// mirror-side label routing; every epoch ends with a contraction realized as
+// a relabel + dedup sort.
+//
+// The run is driven by the same spanner.Schedule and the same
+// xrand.CoinAt(p, seed, spanner.CoinDomainPhase1, epoch, iter, center) coins
+// as the sequential reference engine, so for equal inputs and seeds the
+// returned spanner is bit-identical to spanner.General's — the test suite
+// asserts this cross-plane equality.
+func BuildSpanner(g *graph.Graph, k, t int, gamma float64, seed uint64) (*Result, error) {
+	if k < 1 || t < 1 {
+		return nil, fmt.Errorf("mpc: parameters must satisfy k >= 1 and t >= 1 (got k=%d t=%d)", k, t)
+	}
+	sim, err := NewSim(g.N(), 2*g.M(), gamma)
+	if err != nil {
+		return nil, err
+	}
+
+	// Input: two directed copies of every edge; supernode and cluster
+	// labels start as the vertex itself.
+	tuples := make([]Tuple, 0, 2*g.M())
+	for id, e := range g.Edges() {
+		u, v := int32(e.U), int32(e.V)
+		tuples = append(tuples,
+			Tuple{Src: u, Dst: v, CSrc: u, CDst: v, W: e.W, Orig: int32(id)},
+			Tuple{Src: v, Dst: u, CSrc: v, CDst: u, W: e.W, Orig: int32(id)},
+		)
+	}
+	if err := sim.Load(tuples); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Machines: sim.Machines(), MemoryPerMachine: sim.MemoryPerMachine()}
+	inSpanner := make(map[int32]struct{})
+	n := float64(g.N())
+
+	for _, spec := range spanner.Schedule(k, t) {
+		if sim.Len() == 0 {
+			break
+		}
+		p := math.Pow(n, -spec.Exponent)
+		if err := iterateDistributed(sim, p, uint64(spec.Epoch), uint64(spec.Iter), seed, inSpanner); err != nil {
+			return nil, err
+		}
+		res.Iterations++
+		if spec.LastOfEpoch && sim.Len() > 0 {
+			if err := contractDistributed(sim); err != nil {
+				return nil, err
+			}
+			res.Epochs++
+		}
+	}
+
+	// Phase 2: one more dedup pass (idempotent after a trailing
+	// contraction), then every surviving representative joins the spanner.
+	if sim.Len() > 0 {
+		if err := dedupPairs(sim); err != nil {
+			return nil, err
+		}
+		sim.Scan(func(t *Tuple) { inSpanner[t.Orig] = struct{}{} })
+	}
+
+	res.EdgeIDs = make([]int, 0, len(inSpanner))
+	for id := range inSpanner {
+		res.EdgeIDs = append(res.EdgeIDs, int(id))
+	}
+	sort.Ints(res.EdgeIDs)
+	res.Rounds = sim.Rounds()
+	res.PeakMachineLoad = sim.PeakMachineLoad()
+	res.PeakTotalTuples = sim.PeakTotalTuples()
+	res.Sorts = sim.Sorts()
+	res.TreeOps = sim.TreeOps()
+	res.TuplesMoved = sim.TuplesMoved()
+	return res, nil
+}
+
+// pairKey identifies a (supernode, neighbor-cluster) group.
+type pairKey struct{ v, c int32 }
+
+// iterateDistributed is one grow iteration (Steps B1–B6) in tuple form.
+func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, inSpanner map[int32]struct{}) error {
+	// B1 — sampling. The coin for a cluster is a pure function of its
+	// center label, so every machine evaluates it locally: no rounds.
+	sampled := func(label int32) bool {
+		return xrand.CoinAt(p, seed, spanner.CoinDomainPhase1, epoch, iter, uint64(label))
+	}
+
+	// B2 — group edges of processed supernodes: sort by (Src, CDst, W, Orig)
+	// so each (v, c) group is contiguous with its minimum first.
+	if err := sim.Sort(func(a, b *Tuple) bool {
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.CDst != b.CDst {
+			return a.CDst < b.CDst
+		}
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		return a.Orig < b.Orig
+	}); err != nil {
+		return err
+	}
+
+	// B3/B4 — segmented minima and per-supernode decisions. The scan below
+	// is the work of the group leaders; crossing machine boundaries costs
+	// one Find-Minimum tree and one decision-gather tree.
+	type groupMin struct {
+		c    int32
+		w    float64
+		orig int32
+	}
+	type joinRec struct {
+		center int32
+		orig   int32
+	}
+	removePairs := make(map[pairKey]struct{})
+	joins := make(map[int32]joinRec)
+
+	var cur int32 = -1 // current Src being assembled
+	var curProcessed bool
+	var groups []groupMin
+
+	flush := func() {
+		if cur < 0 || !curProcessed || len(groups) == 0 {
+			groups = groups[:0]
+			return
+		}
+		// Closest sampled neighbor cluster by (weight, center label).
+		best := -1
+		for i, gm := range groups {
+			if !sampled(gm.c) {
+				continue
+			}
+			if best == -1 || gm.w < groups[best].w ||
+				(gm.w == groups[best].w && gm.c < groups[best].c) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			joinW := groups[best].w
+			inSpanner[groups[best].orig] = struct{}{}
+			joins[cur] = joinRec{center: groups[best].c, orig: groups[best].orig}
+			removePairs[pairKey{cur, groups[best].c}] = struct{}{}
+			for i, gm := range groups {
+				if i == best || gm.w >= joinW {
+					continue
+				}
+				inSpanner[gm.orig] = struct{}{}
+				removePairs[pairKey{cur, gm.c}] = struct{}{}
+			}
+		} else {
+			for _, gm := range groups {
+				inSpanner[gm.orig] = struct{}{}
+				removePairs[pairKey{cur, gm.c}] = struct{}{}
+			}
+		}
+		groups = groups[:0]
+	}
+
+	var scanErr error
+	sim.Scan(func(t *Tuple) {
+		if t.CSrc == none || t.CDst == none {
+			scanErr = fmt.Errorf("mpc: tuple with dead label survived: %+v", *t)
+			return
+		}
+		if t.Src != cur {
+			flush()
+			cur = t.Src
+			curProcessed = !sampled(t.CSrc)
+			if !curProcessed {
+				return
+			}
+		}
+		if !curProcessed {
+			return
+		}
+		if len(groups) == 0 || groups[len(groups)-1].c != t.CDst {
+			// First tuple of the (Src, CDst) group is the minimum.
+			groups = append(groups, groupMin{c: t.CDst, w: t.W, orig: t.Orig})
+		}
+	})
+	flush()
+	if scanErr != nil {
+		return scanErr
+	}
+	sim.ChargeTree(2) // segmented minima + decision gathering
+
+	// Removal + join application. The Src side rides the current sort
+	// order (one broadcast tree); the mirror side needs a resort by
+	// (Dst, CSrc) plus its own broadcast tree.
+	sim.ChargeTree(1)
+	if err := sim.Sort(func(a, b *Tuple) bool {
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.CSrc < b.CSrc
+	}); err != nil {
+		return err
+	}
+	sim.ChargeTree(1)
+
+	sim.Filter(func(t *Tuple) bool {
+		if _, dead := removePairs[pairKey{t.Src, t.CDst}]; dead {
+			return false
+		}
+		if _, dead := removePairs[pairKey{t.Dst, t.CSrc}]; dead {
+			return false
+		}
+		return true
+	})
+
+	// B5 — cluster labels advance: sampled clusters persist, joiners adopt
+	// their target, everything else would die (and can't appear on a live
+	// tuple, which B6 then certifies).
+	relabel := func(x, cx int32) int32 {
+		if sampled(cx) {
+			return cx
+		}
+		if j, ok := joins[x]; ok {
+			return j.center
+		}
+		return none
+	}
+	sim.Update(func(t *Tuple) {
+		t.CSrc = relabel(t.Src, t.CSrc)
+		t.CDst = relabel(t.Dst, t.CDst)
+	})
+
+	// B6 — intra-cluster edges vanish; dead labels must not survive.
+	var b6Err error
+	sim.Filter(func(t *Tuple) bool {
+		if t.CSrc == none || t.CDst == none {
+			b6Err = fmt.Errorf("mpc: live tuple lost its cluster: %+v", *t)
+			return false
+		}
+		return t.CSrc != t.CDst
+	})
+	return b6Err
+}
+
+// contractDistributed is Step C: supernode labels become the cluster labels
+// (local relabel), then one dedup sort keeps the minimum-weight
+// representative per supernode pair.
+func contractDistributed(sim *Sim) error {
+	sim.Update(func(t *Tuple) {
+		t.Src, t.Dst = t.CSrc, t.CDst
+	})
+	return dedupPairs(sim)
+}
+
+// dedupPairs sorts by unordered pair and keeps only the two directed copies
+// of the minimum-weight edge per pair (one Sort + one boundary tree).
+func dedupPairs(sim *Sim) error {
+	lo := func(t *Tuple) (int32, int32) {
+		if t.Src < t.Dst {
+			return t.Src, t.Dst
+		}
+		return t.Dst, t.Src
+	}
+	if err := sim.Sort(func(a, b *Tuple) bool {
+		la, ha := lo(a)
+		lb, hb := lo(b)
+		if la != lb {
+			return la < lb
+		}
+		if ha != hb {
+			return ha < hb
+		}
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		return a.Orig < b.Orig
+	}); err != nil {
+		return err
+	}
+	sim.ChargeTree(1)
+	var prevL, prevH int32 = -1, -1
+	var prevOrig int32 = -1
+	sim.Filter(func(t *Tuple) bool {
+		l, h := lo(t)
+		if l == prevL && h == prevH {
+			return t.Orig == prevOrig // keep only the min edge's mirror copy
+		}
+		prevL, prevH, prevOrig = l, h, t.Orig
+		return true
+	})
+	return nil
+}
+
+// RoundBound returns the model-level round budget of Theorem 1.1 for the
+// simulated cluster: per iteration 2 sorts + 4 trees, per epoch one dedup
+// sort + tree, plus the Phase 2 dedup.
+func RoundBound(sim *Sim, k, t int) int {
+	specs := spanner.Schedule(k, t)
+	epochs := 0
+	if len(specs) > 0 {
+		epochs = specs[len(specs)-1].Epoch
+	}
+	perIter := 2*sim.SortRounds() + 4*sim.TreeRounds()
+	perEpoch := sim.SortRounds() + sim.TreeRounds()
+	return len(specs)*perIter + (epochs+1)*perEpoch
+}

@@ -1,0 +1,202 @@
+// Package mpc simulates the Massively Parallel Computation model of
+// [KSV10, GSZ11, BKS13] at the data-placement level and executes the paper's
+// general spanner algorithm on it (Section 6's implementation).
+//
+// The simulator models P machines, each with a local memory of S = ⌈n^γ⌉
+// tuples, holding the edge tuples of the current quotient graph. Primitives
+// charge the rounds the paper's subroutines cost:
+//
+//   - Sort ([GSZ11] sample sort): 2·tree + 1 rounds, where tree =
+//     ⌈log_S P⌉ is the depth of an aggregation tree with fan-in S —
+//     O(1/γ) rounds total, as in Section 6;
+//   - segmented aggregates (Find Minimum(v)) and Broadcast(b, v): tree
+//     rounds each, via the same implicit aggregation trees;
+//   - purely local passes (map/filter over resident tuples): 0 rounds.
+//
+// Placement fidelity: after every communication primitive the simulator
+// re-validates that no machine holds more than S tuples and that total
+// memory never exceeded its initial O(m) footprint. Message contents are not
+// materialized bit-by-bit; what the paper's claims quantify — rounds,
+// memory per machine, total memory — is tracked exactly. The Congested
+// Clique simulator (internal/cclique) additionally enforces per-round
+// message budgets at the node level.
+package mpc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tuple is one directed copy of a quotient-graph edge, the record format of
+// Section 6: endpoints carry their supernode labels and current cluster
+// labels. Labels are the original-vertex id of the cluster/supernode center,
+// which is globally unique and stable across contractions.
+type Tuple struct {
+	Src, Dst   int32 // supernode labels (center original-vertex ids)
+	CSrc, CDst int32 // cluster labels of the two endpoints
+	W          float64
+	Orig       int32 // original edge identifier
+}
+
+// Sim is the machine cluster. Tuples are kept globally sorted-or-not in a
+// single backing slice; machine i owns the i-th contiguous block of at most
+// S tuples (the canonical balanced placement that every [GSZ11] sort
+// re-establishes).
+type Sim struct {
+	s int // memory per machine, in tuples
+	p int // number of machines
+
+	data []Tuple
+
+	rounds     int
+	sorts      int
+	treeOps    int
+	peakLoad   int
+	peakTotal  int
+	totalMoved int64
+}
+
+// NewSim sizes a cluster for an n-vertex input of totalTuples tuples with
+// memory exponent gamma ∈ (0, 1]: S = ⌈n^γ⌉, P = ⌈totalTuples/S⌉.
+func NewSim(n, totalTuples int, gamma float64) (*Sim, error) {
+	if gamma <= 0 || gamma > 1 {
+		return nil, fmt.Errorf("mpc: gamma must lie in (0,1], got %v", gamma)
+	}
+	if n < 0 || totalTuples < 0 {
+		return nil, fmt.Errorf("mpc: negative sizing (n=%d, tuples=%d)", n, totalTuples)
+	}
+	s := int(math.Ceil(math.Pow(float64(n), gamma)))
+	if s < 2 {
+		s = 2
+	}
+	p := (totalTuples + s - 1) / s
+	if p < 1 {
+		p = 1
+	}
+	return &Sim{s: s, p: p}, nil
+}
+
+// MemoryPerMachine returns S in tuples.
+func (m *Sim) MemoryPerMachine() int { return m.s }
+
+// Machines returns P.
+func (m *Sim) Machines() int { return m.p }
+
+// Rounds returns the communication rounds charged so far.
+func (m *Sim) Rounds() int { return m.rounds }
+
+// Sorts returns how many global sorts ran.
+func (m *Sim) Sorts() int { return m.sorts }
+
+// TreeOps returns how many aggregation-tree operations ran.
+func (m *Sim) TreeOps() int { return m.treeOps }
+
+// PeakMachineLoad returns the maximum tuples any machine held at a
+// validation point.
+func (m *Sim) PeakMachineLoad() int { return m.peakLoad }
+
+// PeakTotalTuples returns the maximum total tuples resident at once.
+func (m *Sim) PeakTotalTuples() int { return m.peakTotal }
+
+// TuplesMoved returns the cumulative tuples shipped by communication
+// primitives (a proxy for total communication volume).
+func (m *Sim) TuplesMoved() int64 { return m.totalMoved }
+
+// Len returns the number of resident tuples.
+func (m *Sim) Len() int { return len(m.data) }
+
+// TreeRounds returns the depth of an aggregation tree with fan-in S over the
+// P machines — the cost of Find Minimum / Broadcast in Section 6.
+func (m *Sim) TreeRounds() int {
+	if m.p <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log(float64(m.p)) / math.Log(float64(m.s))))
+}
+
+// SortRounds returns the cost of one [GSZ11] sample sort: splitter
+// aggregation up a tree, splitter broadcast down, and one all-to-all routing
+// round.
+func (m *Sim) SortRounds() int {
+	if m.p <= 1 {
+		return 0
+	}
+	return 2*m.TreeRounds() + 1
+}
+
+// Load places the input tuples on the cluster (the "arbitrarily distributed
+// input" of the model; charges no rounds) and validates capacity.
+func (m *Sim) Load(ts []Tuple) error {
+	m.data = append(m.data[:0], ts...)
+	return m.validate("load")
+}
+
+// validate re-checks the placement invariants after a primitive.
+func (m *Sim) validate(op string) error {
+	if len(m.data) > m.peakTotal {
+		m.peakTotal = len(m.data)
+	}
+	load := 0
+	if len(m.data) > 0 {
+		load = (len(m.data) + m.p - 1) / m.p
+	}
+	if load > m.peakLoad {
+		m.peakLoad = load
+	}
+	if load > m.s {
+		return fmt.Errorf("mpc: %s overflows local memory: %d tuples/machine > S=%d (P=%d, total=%d)",
+			op, load, m.s, m.p, len(m.data))
+	}
+	return nil
+}
+
+// Sort globally sorts the resident tuples, charging SortRounds. The
+// canonical balanced placement is re-established, so per-machine load is
+// ⌈total/P⌉ afterwards.
+func (m *Sim) Sort(less func(a, b *Tuple) bool) error {
+	sort.SliceStable(m.data, func(i, j int) bool { return less(&m.data[i], &m.data[j]) })
+	m.rounds += m.SortRounds()
+	m.sorts++
+	m.totalMoved += int64(len(m.data))
+	return m.validate("sort")
+}
+
+// Scan runs a read-only pass over the tuples in placement order. Local: no
+// rounds. Cross-machine aggregation performed on top of a Scan must be
+// charged separately with ChargeTree.
+func (m *Sim) Scan(f func(t *Tuple)) {
+	for i := range m.data {
+		f(&m.data[i])
+	}
+}
+
+// Update mutates tuples in place (local relabeling; no rounds).
+func (m *Sim) Update(f func(t *Tuple)) {
+	for i := range m.data {
+		f(&m.data[i])
+	}
+}
+
+// Filter drops tuples not accepted by keep (local; no rounds — machines
+// simply release memory).
+func (m *Sim) Filter(keep func(t *Tuple) bool) {
+	out := m.data[:0]
+	for i := range m.data {
+		if keep(&m.data[i]) {
+			out = append(out, m.data[i])
+		}
+	}
+	m.data = out
+}
+
+// ChargeTree charges `times` aggregation-tree operations (segmented minima,
+// per-group decision gathering, label broadcasts along sorted groups).
+func (m *Sim) ChargeTree(times int) {
+	m.rounds += times * m.TreeRounds()
+	m.treeOps += times
+}
+
+// ChargeRounds charges raw rounds (used for fixed-cost steps such as the
+// single-round sampling-outcome exchange of Theorem 8.1).
+func (m *Sim) ChargeRounds(r int) { m.rounds += r }

@@ -1,0 +1,530 @@
+package spanner
+
+import (
+	"fmt"
+	"math"
+
+	"mpcspanner/internal/cluster"
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/xrand"
+)
+
+// CheckInvariants enables expensive structural assertions inside the engine
+// (the Lemma 5.6 invariant that every unprocessed edge joins two distinct
+// live clusters). Tests switch it on; it panics on violation.
+var CheckInvariants bool
+
+// engine holds the mutable state of one run of the general algorithm on one
+// graph. All supernode-indexed slices are rebuilt at each contraction.
+type engine struct {
+	g    *graph.Graph
+	k, t int
+	seed uint64
+	cfg  engineConfig
+
+	// Quotient graph of the current epoch.
+	nSuper int
+	edges  []cluster.QEdge // edge set E of the current epoch
+	alive  []bool          // alive[i] <=> edges[i] still unprocessed
+	nAlive int
+	inc    [][]int32 // supernode -> indexes into edges
+
+	part         *cluster.Partition
+	centerVertex []int32 // supernode -> original center vertex
+	clusterOf    []int32 // supernode -> center supernode of its cluster (cluster.None = finished)
+	active       []int32 // centers of the live clusters of D_{j-1}
+
+	// Output.
+	inSpanner []bool
+	spanIDs   []int
+
+	// Cluster-tree bookkeeping over original vertices, for radius stats:
+	// every merge edge is recorded, and a union-find tracks which original
+	// center is the root of each tree component.
+	treeEdges  []int
+	treeUF     *graph.UnionFind
+	compCenter []int32
+
+	// Scratch, sized nSuper per epoch.
+	sampledFlag []bool
+	mark        []int32
+	bestW       []float64
+	bestIdx     []int32
+	stamp       int32
+
+	stats Stats
+}
+
+// runEngine executes one full run and returns the spanner.
+func runEngine(g *graph.Graph, k, t int, seed uint64, cfg engineConfig) *Result {
+	e := newEngine(g, k, t, seed, cfg)
+	if cfg.classicBS {
+		e.stats.Algorithm = "baswana-sen"
+	} else {
+		e.stats.Algorithm = "general"
+	}
+
+	e.phase1()
+	e.phase2()
+
+	ids := sortedUnique(e.spanIDs)
+	e.stats.Phase2Edges = len(ids) - e.stats.Phase1Edges
+	if cfg.measureRadius {
+		e.stats.Radius = e.measureRadius()
+	}
+	return &Result{EdgeIDs: ids, Stats: e.stats}
+}
+
+func (e *engine) resetEpochScratch() {
+	e.sampledFlag = make([]bool, e.nSuper)
+	e.mark = make([]int32, e.nSuper)
+	e.bestW = make([]float64, e.nSuper)
+	e.bestIdx = make([]int32, e.nSuper)
+	for i := range e.mark {
+		e.mark[i] = -1
+	}
+	e.stamp = -1
+}
+
+func (e *engine) rebuildIncidence() {
+	e.inc = make([][]int32, e.nSuper)
+	deg := make([]int32, e.nSuper)
+	for i := range e.edges {
+		if !e.alive[i] {
+			continue
+		}
+		deg[e.edges[i].A]++
+		deg[e.edges[i].B]++
+	}
+	for v := range e.inc {
+		e.inc[v] = make([]int32, 0, deg[v])
+	}
+	for i := range e.edges {
+		if !e.alive[i] {
+			continue
+		}
+		e.inc[e.edges[i].A] = append(e.inc[e.edges[i].A], int32(i))
+		e.inc[e.edges[i].B] = append(e.inc[e.edges[i].B], int32(i))
+	}
+}
+
+// resetActive makes every supernode a live singleton cluster (start of an
+// epoch: D_0 = singletons).
+func (e *engine) resetActive() {
+	e.active = e.active[:0]
+	for v := 0; v < e.nSuper; v++ {
+		e.clusterOf[v] = int32(v)
+		e.active = append(e.active, int32(v))
+	}
+}
+
+func (e *engine) addSpanner(orig int) bool {
+	if e.inSpanner[orig] {
+		return false
+	}
+	e.inSpanner[orig] = true
+	e.spanIDs = append(e.spanIDs, orig)
+	return true
+}
+
+// phase1 runs the shared epoch/iteration schedule (see Schedule): epoch i
+// samples with exponent (t+1)^{i-1}/k per iteration, cumulative exponents
+// clamp at (k-1)/k, and a contraction follows each epoch.
+func (e *engine) phase1() {
+	n := float64(e.g.N())
+	if n < 2 {
+		return
+	}
+	for _, spec := range Schedule(e.k, e.t) {
+		if e.nAlive == 0 {
+			return
+		}
+		if spec.Iter == 1 {
+			e.stats.Probabilities = append(e.stats.Probabilities,
+				math.Pow(n, -math.Pow(float64(e.t+1), float64(spec.Epoch-1))/float64(e.k)))
+		}
+		e.iterate(math.Pow(n, -spec.Exponent), uint64(spec.Epoch), uint64(spec.Iter))
+		e.stats.Iterations++
+		if spec.LastOfEpoch && !e.cfg.classicBS {
+			e.contract()
+			e.stats.Epochs++
+		}
+	}
+}
+
+// iterate performs one grow iteration (Step B of §5.1) at sampling
+// probability p, identified cross-plane by (epoch, iter).
+// groupKey identifies a (supernode, neighbor-cluster) removal group.
+type groupKey struct{ v, c int32 }
+
+// joinRec records that a supernode joins a sampled cluster via an edge.
+type joinRec struct {
+	center int32
+	orig   int
+}
+
+// iterPlan is the outcome of planning one grow iteration under a particular
+// coin assignment, before any state is mutated. The Congested Clique mode
+// (Theorem 8.1) plans the same iteration under several independent coin sets
+// and applies only the chosen one.
+type iterPlan struct {
+	sampled     []int32 // sampled cluster centers (in active order)
+	removeGroup map[groupKey]struct{}
+	joins       map[int32]joinRec
+	adds        []int // spanner additions (may repeat edges already chosen)
+	newEdges    int   // additions not already in the spanner
+}
+
+// iterate performs one grow iteration (Step B of §5.1) at sampling
+// probability p, identified cross-plane by (epoch, iter).
+func (e *engine) iterate(p float64, epoch, iter uint64) {
+	coin := func(center int32) bool {
+		return xrand.CoinAt(p, e.seed, CoinDomainPhase1, epoch, iter, uint64(center))
+	}
+	e.applyIteration(e.planIteration(coin))
+}
+
+// planIteration evaluates Steps B1-B4 under the given coin without mutating
+// any engine state (the sampled-flag scratch is restored before returning).
+func (e *engine) planIteration(coin func(center int32) bool) *iterPlan {
+	plan := &iterPlan{
+		removeGroup: make(map[groupKey]struct{}),
+		joins:       make(map[int32]joinRec),
+	}
+	// Step B1: sample the live clusters. The coin for a cluster is keyed by
+	// its center's *original vertex*, which is stable across execution
+	// planes and contractions.
+	for _, c := range e.active {
+		s := coin(e.centerVertex[c])
+		e.sampledFlag[c] = s
+		if s {
+			plan.sampled = append(plan.sampled, c)
+		}
+	}
+	defer func() {
+		for _, c := range e.active {
+			e.sampledFlag[c] = false
+		}
+	}()
+
+	addPlanned := func(orig int) {
+		if !e.inSpanner[orig] {
+			// Not exact under intra-plan duplicates; fixed up below.
+			plan.newEdges++
+		}
+		plan.adds = append(plan.adds, orig)
+	}
+
+	// Steps B2-B4: process every supernode not inside a sampled cluster.
+	// Decisions are taken against the iteration-start snapshot, matching the
+	// parallel (per-machine) semantics of the MPC implementation.
+	var nbr []int32
+	for v := int32(0); int(v) < e.nSuper; v++ {
+		cv := e.clusterOf[v]
+		if cv == cluster.None || e.sampledFlag[cv] {
+			continue
+		}
+		// Gather the minimum-weight alive edge toward each neighboring
+		// cluster (Definition 4.1's E(v, c) minima).
+		e.stamp++
+		nbr = nbr[:0]
+		for _, ei := range e.inc[v] {
+			if !e.alive[ei] {
+				continue
+			}
+			ed := e.edges[ei]
+			u := ed.A
+			if u == int(v) {
+				u = ed.B
+			}
+			cu := e.clusterOf[u]
+			if CheckInvariants && cu == cluster.None {
+				panic(fmt.Sprintf("spanner: alive edge %d touches finished supernode %d", ei, u))
+			}
+			if e.mark[cu] != e.stamp {
+				e.mark[cu] = e.stamp
+				e.bestW[cu] = ed.W
+				e.bestIdx[cu] = ei
+				nbr = append(nbr, cu)
+			} else if ed.W < e.bestW[cu] || (ed.W == e.bestW[cu] && ed.Orig < e.edges[e.bestIdx[cu]].Orig) {
+				e.bestW[cu] = ed.W
+				e.bestIdx[cu] = ei
+			}
+		}
+		if len(nbr) == 0 {
+			continue
+		}
+		// Step B3: closest sampled neighboring cluster, if any. Ties break
+		// by (weight, center vertex id) for determinism.
+		closest := int32(-1)
+		for _, cu := range nbr {
+			if !e.sampledFlag[cu] {
+				continue
+			}
+			if closest == -1 || e.bestW[cu] < e.bestW[closest] ||
+				(e.bestW[cu] == e.bestW[closest] && e.centerVertex[cu] < e.centerVertex[closest]) {
+				closest = cu
+			}
+		}
+		if closest >= 0 {
+			je := e.bestIdx[closest]
+			orig := e.edges[je].Orig
+			addPlanned(orig)
+			plan.joins[v] = joinRec{center: closest, orig: orig}
+			plan.removeGroup[groupKey{v, closest}] = struct{}{}
+			w0 := e.bestW[closest]
+			// Step B3 second bullet: clusters reachable strictly cheaper
+			// than the join edge also get their minimum edge, then all
+			// their edges are discarded.
+			for _, cu := range nbr {
+				if cu == closest || e.bestW[cu] >= w0 {
+					continue
+				}
+				addPlanned(e.edges[e.bestIdx[cu]].Orig)
+				plan.removeGroup[groupKey{v, cu}] = struct{}{}
+			}
+		} else {
+			// Step B4: no sampled neighbor — keep one minimum edge per
+			// neighboring cluster and discard everything else.
+			for _, cu := range nbr {
+				addPlanned(e.edges[e.bestIdx[cu]].Orig)
+				plan.removeGroup[groupKey{v, cu}] = struct{}{}
+			}
+		}
+	}
+	// Correct newEdges for duplicates planned twice within this iteration
+	// (the same minimum edge chosen from both endpoints).
+	if len(plan.adds) > 1 {
+		seen := make(map[int]struct{}, len(plan.adds))
+		fresh := 0
+		for _, orig := range plan.adds {
+			if _, dup := seen[orig]; dup {
+				continue
+			}
+			seen[orig] = struct{}{}
+			if !e.inSpanner[orig] {
+				fresh++
+			}
+		}
+		plan.newEdges = fresh
+	}
+	return plan
+}
+
+// applyIteration commits a plan: spanner additions, removals, cluster
+// formation (Step B5), intra-cluster cleanup (Step B6), and the new live
+// cluster set.
+func (e *engine) applyIteration(plan *iterPlan) {
+	for _, c := range plan.sampled {
+		e.sampledFlag[c] = true
+	}
+	for _, orig := range plan.adds {
+		if e.addSpanner(orig) {
+			e.stats.Phase1Edges++
+		}
+	}
+
+	// Apply removals against the snapshot clustering.
+	if len(plan.removeGroup) > 0 {
+		for ei := range e.edges {
+			if !e.alive[ei] {
+				continue
+			}
+			ed := &e.edges[ei]
+			if _, ok := plan.removeGroup[groupKey{int32(ed.A), e.clusterOf[ed.B]}]; ok {
+				e.alive[ei] = false
+				e.nAlive--
+				continue
+			}
+			if _, ok := plan.removeGroup[groupKey{int32(ed.B), e.clusterOf[ed.A]}]; ok {
+				e.alive[ei] = false
+				e.nAlive--
+			}
+		}
+	}
+
+	// Step B5: form D_j — sampled clusters keep their members and absorb the
+	// joining supernodes; everything else dissolves.
+	for v := int32(0); int(v) < e.nSuper; v++ {
+		cv := e.clusterOf[v]
+		if cv == cluster.None {
+			continue
+		}
+		if e.sampledFlag[cv] {
+			continue // stays
+		}
+		if j, ok := plan.joins[v]; ok {
+			e.clusterOf[v] = j.center
+			e.recordMerge(v, j.orig)
+		} else {
+			e.clusterOf[v] = cluster.None
+		}
+	}
+
+	// Step B6: drop intra-cluster edges.
+	for ei := range e.edges {
+		if !e.alive[ei] {
+			continue
+		}
+		ed := &e.edges[ei]
+		ca, cb := e.clusterOf[ed.A], e.clusterOf[ed.B]
+		if CheckInvariants && (ca == cluster.None || cb == cluster.None) {
+			panic(fmt.Sprintf("spanner: post-join alive edge %d has finished endpoint", ei))
+		}
+		if ca == cb {
+			e.alive[ei] = false
+			e.nAlive--
+		}
+	}
+
+	// New live cluster set: the sampled centers, in increasing order
+	// (e.active was sorted, so the filtered list stays sorted).
+	next := e.active[:0]
+	for _, c := range e.active {
+		if e.sampledFlag[c] {
+			next = append(next, c)
+		} else {
+			e.sampledFlag[c] = false
+		}
+	}
+	e.active = next
+}
+
+// recordMerge notes that supernode v was absorbed via original edge orig:
+// the edge joins v's tree component to the engulfing cluster's component,
+// whose root (center) survives.
+func (e *engine) recordMerge(v int32, orig int) {
+	ed := e.g.Edge(orig)
+	joinerEnd, hostEnd := ed.U, ed.V
+	if int32(e.part.Super(ed.U)) != v {
+		joinerEnd, hostEnd = ed.V, ed.U
+	}
+	hostCenter := e.compCenter[e.treeUF.Find(hostEnd)]
+	e.treeUF.Union(joinerEnd, hostEnd)
+	e.compCenter[e.treeUF.Find(hostEnd)] = hostCenter
+	e.treeEdges = append(e.treeEdges, orig)
+}
+
+// contract performs Step C: final clusters become the supernodes of the next
+// epoch's quotient graph, keeping one minimum-weight edge per supernode pair.
+func (e *engine) contract() {
+	// New supernode ids: rank of cluster centers in increasing center order
+	// (deterministic across planes because e.active is sorted).
+	rank := make([]int32, e.nSuper)
+	for i := range rank {
+		rank[i] = cluster.None
+	}
+	newCenter := make([]int32, 0, len(e.active))
+	for i, c := range e.active {
+		rank[c] = int32(i)
+		newCenter = append(newCenter, e.centerVertex[c])
+	}
+	newID := make([]int32, e.nSuper)
+	for v := 0; v < e.nSuper; v++ {
+		if cv := e.clusterOf[v]; cv != cluster.None {
+			newID[v] = rank[cv]
+		} else {
+			newID[v] = cluster.None
+		}
+	}
+	if err := e.part.Contract(newID, len(e.active)); err != nil {
+		panic(err) // internal relabeling is always well-formed
+	}
+
+	kept := make([]cluster.QEdge, 0, e.nAlive)
+	for ei := range e.edges {
+		if !e.alive[ei] {
+			continue
+		}
+		ed := e.edges[ei]
+		a, b := newID[ed.A], newID[ed.B]
+		if CheckInvariants && (a == cluster.None || b == cluster.None || a == b) {
+			panic(fmt.Sprintf("spanner: contraction found ill-placed alive edge %d", ei))
+		}
+		kept = append(kept, cluster.QEdge{A: int(a), B: int(b), W: ed.W, Orig: ed.Orig})
+	}
+	e.edges = cluster.MinDedup(kept)
+	e.alive = make([]bool, len(e.edges))
+	for i := range e.alive {
+		e.alive[i] = true
+	}
+	e.nAlive = len(e.edges)
+
+	e.nSuper = len(e.active)
+	e.centerVertex = newCenter
+	e.clusterOf = make([]int32, e.nSuper)
+	e.resetEpochScratch()
+	e.rebuildIncidence()
+	e.resetActive()
+	e.stats.SupernodeHistory = append(e.stats.SupernodeHistory, e.nSuper)
+}
+
+// phase2 connects what remains. In the general algorithm the surviving edges
+// already carry one minimum-weight representative per final supernode pair
+// (Step C), so all of them enter the spanner. The classic [BS07] variant
+// instead adds, for every vertex with surviving edges, the minimum edge
+// toward each final cluster.
+func (e *engine) phase2() {
+	if e.nAlive == 0 {
+		return
+	}
+	if !e.cfg.classicBS {
+		live := make([]cluster.QEdge, 0, e.nAlive)
+		for ei := range e.edges {
+			if e.alive[ei] {
+				live = append(live, e.edges[ei])
+			}
+		}
+		for _, ed := range cluster.MinDedup(live) {
+			e.addSpanner(ed.Orig)
+		}
+		return
+	}
+	// Classic Phase 2: per-vertex, per-cluster minima over the snapshot.
+	var nbr []int32
+	for v := int32(0); int(v) < e.nSuper; v++ {
+		e.stamp++
+		nbr = nbr[:0]
+		for _, ei := range e.inc[v] {
+			if !e.alive[ei] {
+				continue
+			}
+			ed := e.edges[ei]
+			u := ed.A
+			if u == int(v) {
+				u = ed.B
+			}
+			cu := e.clusterOf[u]
+			if cu == cluster.None {
+				continue
+			}
+			if e.mark[cu] != e.stamp {
+				e.mark[cu] = e.stamp
+				e.bestW[cu] = ed.W
+				e.bestIdx[cu] = ei
+				nbr = append(nbr, cu)
+			} else if ed.W < e.bestW[cu] || (ed.W == e.bestW[cu] && ed.Orig < e.edges[e.bestIdx[cu]].Orig) {
+				e.bestW[cu] = ed.W
+				e.bestIdx[cu] = ei
+			}
+		}
+		for _, cu := range nbr {
+			e.addSpanner(e.edges[e.bestIdx[cu]].Orig)
+		}
+	}
+}
+
+// measureRadius computes the radii of the final cluster trees: every tree
+// component is measured from its surviving center.
+func (e *engine) measureRadius() cluster.TreeStats {
+	rootSet := make(map[int]bool)
+	var roots []int
+	for _, id := range e.treeEdges {
+		r := int(e.compCenter[e.treeUF.Find(e.g.Edge(id).U)])
+		if !rootSet[r] {
+			rootSet[r] = true
+			roots = append(roots, r)
+		}
+	}
+	return cluster.MeasureTrees(e.g, e.treeEdges, roots)
+}

@@ -1,0 +1,48 @@
+package spanner
+
+import "math"
+
+// CoinDomainPhase1 tags Phase 1 cluster-sampling coins in the xrand key
+// space. Both execution planes (the sequential engine here and the simulated
+// MPC driver in internal/mpc) key their coins as
+// xrand.CoinAt(p, seed, CoinDomainPhase1, epoch, iter, centerVertex),
+// which is what makes their runs bit-identical.
+const CoinDomainPhase1 = 0x70313 // "p1"
+
+// IterationSpec describes one grow iteration of the general algorithm's
+// schedule. The sampling probability on an n-vertex input is n^{-Exponent}.
+type IterationSpec struct {
+	Epoch       int     // 1-based epoch index
+	Iter        int     // 1-based iteration within the epoch
+	Exponent    float64 // sampling exponent; p = n^{-Exponent}
+	LastOfEpoch bool    // a contraction (Step C) follows this iteration
+}
+
+// Schedule returns the complete epoch/iteration schedule for General(k, t):
+// epoch i contributes up to t iterations with exponent (t+1)^{i-1}/k, and
+// the cumulative exponent is clamped at (k-1)/k (the paper's
+// ((t+1)^l − 1)/k with (t+1)^l = k), so the final iteration may use a
+// reduced exponent when log k / log(t+1) is not an integer. Both execution
+// planes iterate this exact schedule.
+func Schedule(k, t int) []IterationSpec {
+	const eps = 1e-12
+	if k <= 1 {
+		return nil
+	}
+	target := float64(k-1) / float64(k)
+	consumed := 0.0
+	var specs []IterationSpec
+	for epoch := 1; consumed < target-eps; epoch++ {
+		exponent := math.Pow(float64(t+1), float64(epoch-1)) / float64(k)
+		for j := 1; j <= t && consumed < target-eps; j++ {
+			ex := exponent
+			if consumed+ex > target {
+				ex = target - consumed
+			}
+			consumed += ex
+			specs = append(specs, IterationSpec{Epoch: epoch, Iter: j, Exponent: ex})
+		}
+		specs[len(specs)-1].LastOfEpoch = true
+	}
+	return specs
+}

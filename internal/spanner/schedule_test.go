@@ -1,0 +1,100 @@
+package spanner
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleCumulativeExponent(t *testing.T) {
+	for _, c := range []struct{ k, t int }{{2, 1}, {4, 1}, {16, 3}, {9, 2}, {16, 15}, {7, 5}, {100, 4}} {
+		specs := Schedule(c.k, c.t)
+		sum := 0.0
+		for _, s := range specs {
+			sum += s.Exponent
+		}
+		want := float64(c.k-1) / float64(c.k)
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("k=%d t=%d: cumulative exponent %v, want %v", c.k, c.t, sum, want)
+		}
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	specs := Schedule(16, 3)
+	// Epochs are 1-based, contiguous, with at most t iterations each, and
+	// exactly one LastOfEpoch per epoch (its final iteration).
+	perEpoch := map[int]int{}
+	lastSeen := map[int]bool{}
+	for i, s := range specs {
+		perEpoch[s.Epoch]++
+		if s.Iter != perEpoch[s.Epoch] {
+			t.Fatalf("spec %d: iter %d out of order", i, s.Iter)
+		}
+		if s.Iter > 3 {
+			t.Fatalf("epoch %d has more than t iterations", s.Epoch)
+		}
+		if s.LastOfEpoch {
+			if lastSeen[s.Epoch] {
+				t.Fatalf("epoch %d has two LastOfEpoch marks", s.Epoch)
+			}
+			lastSeen[s.Epoch] = true
+		}
+	}
+	for e := range perEpoch {
+		if !lastSeen[e] {
+			t.Fatalf("epoch %d lacks a LastOfEpoch mark", e)
+		}
+	}
+	if !specs[len(specs)-1].LastOfEpoch {
+		t.Fatal("final spec must close its epoch")
+	}
+}
+
+func TestScheduleBaswanaSenRegime(t *testing.T) {
+	// t >= k-1: exactly k-1 iterations at exponent 1/k, one epoch.
+	specs := Schedule(8, 8)
+	if len(specs) != 7 {
+		t.Fatalf("k=8 t=8: %d iterations, want 7", len(specs))
+	}
+	for _, s := range specs {
+		if s.Epoch != 1 {
+			t.Fatal("should be a single epoch")
+		}
+		if math.Abs(s.Exponent-1.0/8) > 1e-12 {
+			t.Fatalf("exponent %v, want 1/8", s.Exponent)
+		}
+	}
+}
+
+func TestScheduleDegenerate(t *testing.T) {
+	if Schedule(1, 3) != nil {
+		t.Fatal("k=1 needs no phase-1 iterations")
+	}
+	specs := Schedule(2, 1)
+	if len(specs) != 1 || math.Abs(specs[0].Exponent-0.5) > 1e-12 {
+		t.Fatalf("k=2 t=1: %+v", specs)
+	}
+}
+
+func TestScheduleExponentsNonDecreasingUntilClamp(t *testing.T) {
+	f := func(seed uint64) bool {
+		k := 2 + int(seed%60)
+		tt := 1 + int((seed>>8)%6)
+		specs := Schedule(k, tt)
+		if len(specs) == 0 {
+			return k == 1
+		}
+		// Exponents never decrease except possibly at the final clamped
+		// iteration; total count matches the bound.
+		for i := 1; i < len(specs)-1; i++ {
+			if specs[i].Exponent < specs[i-1].Exponent-1e-12 {
+				return false
+			}
+		}
+		return len(specs) <= IterationBound(k, tt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package spanner implements the paper's spanner constructions:
+//
+//   - General: the §5 trade-off algorithm. Epoch i runs t grow iterations of
+//     Baswana–Sen-style clustering on the current quotient graph with
+//     sampling probability n^{−(t+1)^{i−1}/k}, then contracts (Step C).
+//     It yields stretch O(k^s), s = log(2t+1)/log(t+1), size
+//     O(n^{1+1/k}(t+log k)), in O(t·log k/log(t+1)) iterations (Thm 5.15).
+//   - ClusterMerge: the §4 algorithm = General with t = 1 (stretch O(k^{log 3}),
+//     log k epochs, Thm 4.14).
+//   - SqrtK: the §3 algorithm = General with t = ⌈√k⌉ (stretch O(k), O(√k)
+//     iterations, Thms 3.1/3.4).
+//   - BaswanaSen: the classic [BS07] baseline (stretch 2k−1, k−1 iterations,
+//     per-vertex Phase 2, no contraction), used as the paper's comparison
+//     point and as a subroutine of the unweighted algorithm.
+//   - Unweighted: the Appendix B adaptation of Parter–Yogev (stretch O(k/γ),
+//     O(log k) rounds, extra O(n^{1+γ}) memory), for unweighted graphs.
+//
+// All algorithms are deterministic given Options.Seed: every sampling coin is
+// the pure function xrand.CoinAt(p, seed, epoch, iteration, centerVertex), so
+// the simulated MPC execution (internal/mpc) can replay identical runs.
+package spanner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mpcspanner/internal/cluster"
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/xrand"
+)
+
+// Options configures a spanner construction.
+type Options struct {
+	// Seed drives every random choice. Two runs with equal seeds and inputs
+	// produce identical spanners.
+	Seed uint64
+
+	// Repetitions > 1 runs that many independent instances (derived seeds)
+	// and keeps the smallest spanner — the "w.h.p. via O(log n) parallel
+	// repetitions" mechanism of Theorem 8.1 / Section 6. Zero means 1.
+	Repetitions int
+
+	// MeasureRadius additionally computes the final cluster-tree radii
+	// (hop and weighted), used by the stretch accounting experiments.
+	MeasureRadius bool
+}
+
+func (o Options) reps() int {
+	if o.Repetitions < 1 {
+		return 1
+	}
+	return o.Repetitions
+}
+
+// Stats reports the structural costs of a run — the quantities the paper's
+// theorems bound.
+type Stats struct {
+	Algorithm string
+	K         int // stretch parameter
+	T         int // grow iterations per epoch (General family)
+
+	Epochs     int // number of contraction epochs executed
+	Iterations int // total grow iterations = the algorithm's round driver
+
+	Phase1Edges int // spanner edges added during Phase 1
+	Phase2Edges int // spanner edges added during Phase 2
+
+	// SupernodeHistory[i] is the supernode count after epoch i+1's
+	// contraction (Lemma 5.12's quantity).
+	SupernodeHistory []int
+
+	// Probabilities[i] is the per-iteration sampling probability of epoch
+	// i+1 (before any final-iteration clamping).
+	Probabilities []float64
+
+	// Tree radii of the final clustering (only if Options.MeasureRadius).
+	Radius cluster.TreeStats
+
+	// Repetition is the index of the winning run when Repetitions > 1.
+	Repetition int
+}
+
+// Result is a constructed spanner: the selected edge identifiers (sorted,
+// unique, indexes into the input graph's edge list) plus run statistics.
+type Result struct {
+	EdgeIDs []int
+	Stats   Stats
+}
+
+// Size returns the number of spanner edges.
+func (r *Result) Size() int { return len(r.EdgeIDs) }
+
+// Spanner materializes the spanner as a graph on the same vertex set.
+func (r *Result) Spanner(g *graph.Graph) *graph.Graph { return g.Subgraph(r.EdgeIDs) }
+
+// General runs the §5 trade-off algorithm with parameters k ≥ 1 (stretch
+// exponent base) and t ≥ 1 (grow iterations per epoch). Larger t lowers the
+// stretch toward 2k−1 at the cost of more iterations; see StretchBound and
+// IterationBound for the theoretical envelope.
+func General(g *graph.Graph, k, t int, opt Options) (*Result, error) {
+	if err := validateKT(k, t); err != nil {
+		return nil, err
+	}
+	return bestOf(opt, func(seed uint64) *Result {
+		return runEngine(g, k, t, seed, engineConfig{measureRadius: opt.MeasureRadius})
+	})
+}
+
+// ClusterMerge runs the §4 cluster-cluster merging algorithm (t = 1):
+// log k epochs, stretch O(k^{log 3}), size O(n^{1+1/k}·log k).
+func ClusterMerge(g *graph.Graph, k int, opt Options) (*Result, error) {
+	r, err := General(g, k, 1, opt)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats.Algorithm = "cluster-merge"
+	return r, nil
+}
+
+// SqrtK runs the §3 two-phase algorithm (t = ⌈√k⌉): O(√k) iterations,
+// stretch O(k), size O(√k·n^{1+1/k}).
+func SqrtK(g *graph.Graph, k int, opt Options) (*Result, error) {
+	t := int(math.Ceil(math.Sqrt(float64(k))))
+	if t < 1 {
+		t = 1
+	}
+	r, err := General(g, k, t, opt)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats.Algorithm = "sqrt-k"
+	return r, nil
+}
+
+// BaswanaSen runs the classic [BS07] construction: k−1 grow iterations with
+// probability n^{−1/k}, no contraction, and a per-vertex Phase 2. Its stretch
+// is 2k−1 and its expected size O(k·n^{1+1/k}); it is the paper's baseline.
+func BaswanaSen(g *graph.Graph, k int, opt Options) (*Result, error) {
+	if err := validateKT(k, 1); err != nil {
+		return nil, err
+	}
+	return bestOf(opt, func(seed uint64) *Result {
+		return runEngine(g, k, k, seed, engineConfig{
+			classicBS:     true,
+			measureRadius: opt.MeasureRadius,
+		})
+	})
+}
+
+// StretchBound returns the paper's stretch guarantee for General(k, t):
+// 2·k^s with s = log(2t+1)/log(t+1) (Theorem 5.11 / Corollary 5.10). Note
+// that the classic BaswanaSen variant has the stronger guarantee 2k−1 — the
+// general algorithm's contractions (Step C) trade that for fewer iterations
+// even when t ≥ k−1.
+func StretchBound(k, t int) float64 {
+	if k <= 1 {
+		return 1
+	}
+	s := math.Log(float64(2*t+1)) / math.Log(float64(t+1))
+	return 2 * math.Pow(float64(k), s)
+}
+
+// IterationBound returns the paper's iteration guarantee for General(k, t):
+// t·⌈log k/log(t+1)⌉ (Theorem 5.15), i.e. grow iterations across all epochs.
+func IterationBound(k, t int) int {
+	if k <= 1 {
+		return 0
+	}
+	if t >= k-1 {
+		return k - 1
+	}
+	l := int(math.Ceil(math.Log(float64(k)) / math.Log(float64(t+1))))
+	return t * l
+}
+
+func validateKT(k, t int) error {
+	if k < 1 {
+		return fmt.Errorf("spanner: stretch parameter k must be >= 1, got %d", k)
+	}
+	if t < 1 {
+		return fmt.Errorf("spanner: epoch length t must be >= 1, got %d", t)
+	}
+	return nil
+}
+
+// bestOf runs `run` Repetitions times with derived seeds and keeps the
+// smallest spanner (ties: earliest repetition).
+func bestOf(opt Options, run func(seed uint64) *Result) (*Result, error) {
+	reps := opt.reps()
+	var best *Result
+	for rep := 0; rep < reps; rep++ {
+		seed := opt.Seed
+		if reps > 1 {
+			seed = xrand.Split(opt.Seed, 0x72657073, uint64(rep)).Uint64() // "reps"
+		}
+		r := run(seed)
+		r.Stats.Repetition = rep
+		if best == nil || len(r.EdgeIDs) < len(best.EdgeIDs) {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// engineConfig selects engine variants.
+type engineConfig struct {
+	// classicBS reproduces [BS07] exactly: a single epoch of k−1 iterations
+	// at probability n^{−1/k}, no contraction, per-vertex Phase 2.
+	classicBS bool
+
+	measureRadius bool
+}
+
+// sortedUnique sorts ids and removes duplicates in place.
+func sortedUnique(ids []int) []int {
+	sort.Ints(ids)
+	out := ids[:0]
+	for i, id := range ids {
+		if i > 0 && id == ids[i-1] {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package spanner
+
+import (
+	"fmt"
+	"math"
+
+	"mpcspanner/internal/cluster"
+	"mpcspanner/internal/dist"
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/xrand"
+)
+
+// UnweightedOptions configures the Appendix B algorithm.
+type UnweightedOptions struct {
+	// Seed drives all randomness (ball-independent shared coins).
+	Seed uint64
+
+	// Gamma is the per-machine memory exponent γ ∈ (0, 1): balls are capped
+	// at n^{γ/2} vertices and the hitting set has expected size
+	// Õ(n^{1−γ/4}). Zero means 1/2.
+	Gamma float64
+}
+
+// UnweightedStats reports the structural quantities of an Unweighted run.
+type UnweightedStats struct {
+	K, SparseCount, DenseCount int
+	BallCap                    int     // n^{γ/2} vertex cap per ball
+	HittingSetSize             int     // |Z| including fallback promotions
+	AuxNodes, AuxEdges         int     // auxiliary graph on Z
+	AuxSpannerEdges            int     // spanner edges of the auxiliary graph
+	PathEdges                  int     // BFS-path edges dense vertices add
+	BS07Edges                  int     // region-restricted Baswana–Sen edges
+	Rounds                     int     // simulated MPC rounds (see RoundsUnweighted)
+	StretchBound               float64 // O(k/γ) guarantee actually certified
+}
+
+// UnweightedResult is the output of the Appendix B construction.
+type UnweightedResult struct {
+	EdgeIDs []int
+	Stats   UnweightedStats
+}
+
+// Size returns the number of spanner edges.
+func (r *UnweightedResult) Size() int { return len(r.EdgeIDs) }
+
+// Spanner materializes the spanner subgraph.
+func (r *UnweightedResult) Spanner(g *graph.Graph) *graph.Graph { return g.Subgraph(r.EdgeIDs) }
+
+// Unweighted builds an O(k/γ)-stretch spanner of an unweighted graph with
+// O(k·n^{1+1/k}) + O(k·n) edges in O((1/γ)(log k + 1/γ)) simulated MPC
+// rounds, following Appendix B (the Parter–Yogev adaptation):
+//
+//   - every vertex grows a BFS ball of up to 4k hops, truncated at n^{γ/2}
+//     vertices; complete balls mark the vertex sparse, truncated ones dense;
+//   - edges with a sparse endpoint are covered by locally simulating [BS07]
+//     with shared randomness — realized here by one global [BS07] run
+//     restricted to the 2k-hop region around sparse vertices, which is
+//     exactly what the joint local simulations compute;
+//   - dense-dense edges are covered by a random hitting set Z (expected size
+//     Õ(n^{1−γ/4})): every dense vertex keeps its BFS path to the nearest
+//     z ∈ Z (vertices whose ball Z misses are promoted into Z, preserving
+//     correctness on the low-probability tail), and a (2⌈2/γ⌉−1)-spanner of
+//     the auxiliary graph on Z — whose edges are realized by original
+//     edges — covers inter-assignment pairs.
+//
+// Unlike the weighted algorithms, this one differs from the paper in one
+// documented way: the paper recurses on the contracted dense subgraph O(1)
+// times, while this implementation resolves all dense-dense edges with a
+// single hitting-set level. The stretch and size guarantees are unchanged
+// (DESIGN.md, substitutions table).
+func Unweighted(g *graph.Graph, k int, opt UnweightedOptions) (*UnweightedResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("spanner: k must be >= 1, got %d", k)
+	}
+	if !g.IsUnit() {
+		return nil, fmt.Errorf("spanner: Unweighted requires an unweighted (unit-weight) graph")
+	}
+	gamma := opt.Gamma
+	if gamma == 0 {
+		gamma = 0.5
+	}
+	if gamma <= 0 || gamma >= 1 {
+		return nil, fmt.Errorf("spanner: gamma must lie in (0,1), got %v", gamma)
+	}
+
+	n := g.N()
+	st := UnweightedStats{K: k}
+	inSpanner := make([]bool, g.M())
+	var ids []int
+	add := func(id int) {
+		if !inSpanner[id] {
+			inSpanner[id] = true
+			ids = append(ids, id)
+		}
+	}
+
+	// --- Ball growing: sparse/dense split. -------------------------------
+	ballCap := int(math.Ceil(math.Pow(float64(n), gamma/2)))
+	if ballCap < 2 {
+		ballCap = 2
+	}
+	st.BallCap = ballCap
+	sparse := make([]bool, n)
+	for v := 0; v < n; v++ {
+		_, truncated := dist.BFSBall(g, v, 4*k, ballCap)
+		sparse[v] = !truncated
+		if sparse[v] {
+			st.SparseCount++
+		} else {
+			st.DenseCount++
+		}
+	}
+
+	// --- Sparse side: region-restricted global [BS07]. -------------------
+	// The 2k-hop region around sparse vertices contains every vertex of the
+	// [BS07] spanning path of any sparse-incident edge (cluster radii are at
+	// most k, so paths stay within 2k hops of a sparse endpoint).
+	region := make([]bool, n)
+	var sparseSet []int
+	for v := 0; v < n; v++ {
+		if sparse[v] {
+			sparseSet = append(sparseSet, v)
+		}
+	}
+	if len(sparseSet) > 0 {
+		hop, _ := dist.MultiSourceDijkstra(g, sparseSet) // unit weights: hops
+		for v := 0; v < n; v++ {
+			if hop[v] <= float64(2*k) {
+				region[v] = true
+			}
+		}
+		bs, err := BaswanaSen(g, k, Options{Seed: xrand.Split(opt.Seed, 0x627337).Uint64()}) // "bs7"
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range bs.EdgeIDs {
+			e := g.Edge(id)
+			if region[e.U] && region[e.V] {
+				add(id)
+				st.BS07Edges++
+			}
+		}
+	}
+
+	// --- Dense side: hitting set + auxiliary-graph spanner. --------------
+	if st.DenseCount > 0 {
+		pZ := 4 * math.Log(float64(n)+2) / math.Pow(float64(n), gamma/4)
+		inZ := make([]bool, n)
+		var zs []int
+		for v := 0; v < n; v++ {
+			if !sparse[v] {
+				if xrand.CoinAt(pZ, opt.Seed, 0x7a736574, uint64(v)) { // "zset"
+					inZ[v] = true
+					zs = append(zs, v)
+				}
+			}
+		}
+		// Fallback promotions keep the construction correct on the tail
+		// where Z misses a dense ball: any dense vertex farther than 4k
+		// hops from Z joins Z itself.
+		for pass := 0; pass < 2; pass++ {
+			hop, _ := dist.MultiSourceDijkstra(g, zs)
+			promoted := false
+			for v := 0; v < n; v++ {
+				if !sparse[v] && !inZ[v] && hop[v] > float64(4*k) {
+					inZ[v] = true
+					zs = append(zs, v)
+					promoted = true
+				}
+			}
+			if !promoted {
+				break
+			}
+		}
+		st.HittingSetSize = len(zs)
+
+		// Assignment: nearest z and the BFS path to it.
+		_, nearest := dist.MultiSourceDijkstra(g, zs)
+		parents := multiSourceParents(g, zs)
+		assigned := make([]int, n)
+		for v := range assigned {
+			assigned[v] = -1
+		}
+		for v := 0; v < n; v++ {
+			if sparse[v] || nearest[v] < 0 {
+				continue
+			}
+			assigned[v] = zs[nearest[v]]
+			for x := v; parents[x].edge >= 0; x = parents[x].to {
+				if !inSpanner[parents[x].edge] {
+					st.PathEdges++
+				}
+				add(parents[x].edge)
+			}
+		}
+
+		// Auxiliary graph on Z: one node per hitting-set vertex, an edge per
+		// assignment-crossing original dense-dense edge (min-id realizer).
+		zIndex := make(map[int]int, len(zs))
+		for i, z := range zs {
+			zIndex[z] = i
+		}
+		var aux []cluster.QEdge
+		for id, e := range g.Edges() {
+			if sparse[e.U] || sparse[e.V] {
+				continue
+			}
+			za, zb := assigned[e.U], assigned[e.V]
+			if za < 0 || zb < 0 || za == zb {
+				continue
+			}
+			aux = append(aux, cluster.QEdge{A: zIndex[za], B: zIndex[zb], W: 1, Orig: id})
+		}
+		aux = cluster.MinDedup(aux)
+		st.AuxNodes, st.AuxEdges = len(zs), len(aux)
+
+		if len(aux) > 0 {
+			auxEdges := make([]graph.Edge, len(aux))
+			for i, q := range aux {
+				auxEdges[i] = graph.Edge{U: q.A, V: q.B, W: 1}
+			}
+			auxG := graph.MustNew(len(zs), auxEdges)
+			kAux := int(math.Ceil(2 / gamma))
+			auxR, err := BaswanaSen(auxG, kAux, Options{Seed: xrand.Split(opt.Seed, 0x617578).Uint64()}) // "aux"
+			if err != nil {
+				return nil, err
+			}
+			for _, ai := range auxR.EdgeIDs {
+				add(aux[ai].Orig)
+				st.AuxSpannerEdges++
+			}
+			// Certified stretch for dense-dense edges:
+			// 4k (to Z) + (2k'−1)·(8k+1) (aux path realized) + 4k (back).
+			st.StretchBound = float64(8*k) + float64(2*kAux-1)*float64(8*k+1)
+		}
+	}
+	if st.DenseCount > 0 {
+		// Even with an empty auxiliary graph, same-assignment dense-dense
+		// edges route through their hitting-set vertex: up to 8k hops.
+		if pathBound := float64(8 * k); pathBound > st.StretchBound {
+			st.StretchBound = pathBound
+		}
+	}
+	if bsBound := float64(2*k - 1); bsBound > st.StretchBound {
+		st.StretchBound = bsBound
+	}
+	st.Rounds = RoundsUnweighted(k, gamma)
+	return &UnweightedResult{EdgeIDs: sortedUnique(ids), Stats: st}, nil
+}
+
+// RoundsUnweighted returns the simulated MPC round count of the Appendix B
+// algorithm with memory exponent γ: O(log k) graph-exponentiation doublings
+// for ball collection plus ⌈2/γ⌉ locally-simulated [BS07] iterations on the
+// auxiliary graph, each costing O(1/γ) rounds of sorting/aggregation
+// (Theorem 1.3's O((1/γ)·log k) with the additive auxiliary term).
+func RoundsUnweighted(k int, gamma float64) int {
+	perPrimitive := int(math.Ceil(1 / gamma))
+	doublings := int(math.Ceil(math.Log2(float64(4*k)))) + 1
+	aux := int(math.Ceil(2 / gamma))
+	return perPrimitive * (doublings + aux)
+}
+
+type parentArc struct {
+	to   int
+	edge int
+}
+
+// multiSourceParents returns, for every vertex, the parent arc of a
+// multi-source BFS forest rooted at srcs (edge = -1 at roots/unreachable).
+func multiSourceParents(g *graph.Graph, srcs []int) []parentArc {
+	par := make([]parentArc, g.N())
+	seen := make([]bool, g.N())
+	for i := range par {
+		par[i] = parentArc{to: -1, edge: -1}
+	}
+	queue := make([]int, 0, len(srcs))
+	for _, s := range srcs {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range g.Adj(v) {
+			if !seen[a.To] {
+				seen[a.To] = true
+				par[a.To] = parentArc{to: v, edge: a.Edge}
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return par
+}

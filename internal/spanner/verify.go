@@ -1,0 +1,57 @@
+package spanner
+
+import (
+	"fmt"
+
+	"mpcspanner/internal/dist"
+	"mpcspanner/internal/graph"
+)
+
+// Verify checks that a Result is a valid spanner of g with multiplicative
+// stretch at most maxStretch:
+//
+//  1. every edge id is a valid, unique index into g's edges (subgraph-ness);
+//  2. the spanner preserves g's connectivity structure (every finite
+//     distance stays finite); and
+//  3. every edge of g is stretched at most maxStretch in the spanner — the
+//     edge condition is equivalent to the all-pairs condition.
+//
+// It returns the measured stretch report on success.
+func Verify(g *graph.Graph, r *Result, maxStretch float64) (dist.StretchReport, error) {
+	seen := make(map[int]bool, len(r.EdgeIDs))
+	for _, id := range r.EdgeIDs {
+		if id < 0 || id >= g.M() {
+			return dist.StretchReport{}, fmt.Errorf("spanner: edge id %d out of range [0,%d)", id, g.M())
+		}
+		if seen[id] {
+			return dist.StretchReport{}, fmt.Errorf("spanner: duplicate edge id %d", id)
+		}
+		seen[id] = true
+	}
+	h := r.Spanner(g)
+
+	gl, gc := g.Components()
+	hl, hc := h.Components()
+	if gc != hc {
+		return dist.StretchReport{}, fmt.Errorf("spanner: component count changed %d -> %d", gc, hc)
+	}
+	// Same partition: vertices sharing a g-component must share an
+	// h-component (h ⊆ g gives the other direction for free).
+	repr := make(map[int]int, gc)
+	for v := 0; v < g.N(); v++ {
+		if first, ok := repr[gl[v]]; !ok {
+			repr[gl[v]] = hl[v]
+		} else if first != hl[v] {
+			return dist.StretchReport{}, fmt.Errorf("spanner: vertex %d disconnected from its component", v)
+		}
+	}
+
+	rep, err := dist.EdgeStretch(g, h)
+	if err != nil {
+		return dist.StretchReport{}, err
+	}
+	if rep.Max > maxStretch+1e-9 {
+		return rep, fmt.Errorf("spanner: measured stretch %.4f exceeds bound %.4f", rep.Max, maxStretch)
+	}
+	return rep, nil
+}

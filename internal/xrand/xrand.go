@@ -1,0 +1,128 @@
+// Package xrand provides deterministic, splittable pseudo-randomness.
+//
+// Every algorithm in this repository takes an explicit 64-bit seed and derives
+// all of its random choices through splittable streams keyed by structured
+// tuples such as (seed, epoch, iteration, clusterID). Two executions of the
+// same algorithm — e.g. the sequential reference implementation in
+// internal/spanner and the simulated distributed execution in internal/mpc —
+// therefore draw identical coins for identical logical events and produce
+// bit-identical outputs, which the test suite relies on.
+//
+// The generator is splitmix64 (Steele, Lea, Flood 2014), which passes BigCrush
+// and has a trivially splittable structure: hashing the key tuple into the
+// state yields independent streams for distinct tuples.
+package xrand
+
+import "math"
+
+// golden is the splitmix64 increment, 2^64 / phi rounded to odd.
+const golden = 0x9e3779b97f4a7c15
+
+// mix is the splitmix64 finalizer: a bijective avalanche function on 64 bits.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a deterministic random stream. The zero value is a valid stream
+// seeded with 0; prefer New or Split to construct sources.
+type Source struct {
+	state uint64
+}
+
+// New returns a stream derived from seed alone.
+func New(seed uint64) *Source {
+	return &Source{state: mix(seed + golden)}
+}
+
+// Split derives an independent stream keyed by (seed, keys...). Distinct key
+// tuples yield statistically independent streams; the same tuple always
+// yields the same stream. This is the primitive that lets per-entity coins be
+// re-drawn identically on different execution planes.
+func Split(seed uint64, keys ...uint64) *Source {
+	s := mix(seed + golden)
+	for _, k := range keys {
+		s = mix(s ^ mix(k+golden))
+	}
+	return &Source{state: s}
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += golden
+	return mix(s.state)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Bool returns true with probability 1/2.
+func (s *Source) Bool() bool {
+	return s.Uint64()&1 == 1
+}
+
+// Coin returns true with probability p. Values of p outside [0, 1] are
+// clamped: p <= 0 never fires, p >= 1 always fires.
+func (s *Source) Coin(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1,
+// via inverse transform sampling. Used by weight generators.
+func (s *Source) ExpFloat64() float64 {
+	u := s.Float64()
+	// Guard the log argument away from zero.
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1 - u)
+}
+
+// CoinAt is the cross-plane sampling primitive: it reports whether the coin
+// for logical event (seed, keys...) with success probability p fires. The
+// outcome is a pure function of its arguments, so any execution plane can
+// evaluate the same event and observe the same outcome without communication.
+func CoinAt(p float64, seed uint64, keys ...uint64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return Split(seed, keys...).Float64() < p
+}

@@ -1,0 +1,201 @@
+// Package mpcspanner is the public facade of this repository: a Go
+// implementation of "Massively Parallel Algorithms for Distance
+// Approximation and Spanners" (Biswas, Dory, Ghaffari, Mitrović, Nazari —
+// SPAA 2021).
+//
+// It exposes the paper's spanner constructions (the §5 general round/stretch
+// trade-off and its §3/§4/[BS07]/Appendix-B special cases), the simulated
+// execution substrates (MPC, Congested Clique, PRAM cost model), and the §7
+// all-pairs-shortest-paths approximation built on top. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the reproduced theorem-level
+// results.
+//
+// Quick start:
+//
+//	g := mpcspanner.GNP(10_000, 0.001, mpcspanner.UniformWeight(1, 100), 42)
+//	res, err := mpcspanner.BuildSpanner(g, mpcspanner.SpannerOptions{K: 8, T: 2, Seed: 1})
+//	// res.EdgeIDs is the spanner; res.Stats carries iterations/size/radius.
+package mpcspanner
+
+import (
+	"fmt"
+
+	"mpcspanner/internal/apsp"
+	"mpcspanner/internal/cclique"
+	"mpcspanner/internal/dist"
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/mpc"
+	"mpcspanner/internal/spanner"
+)
+
+// Graph, Edge and the workload generators are re-exported from the graph
+// substrate so applications only import this package.
+type (
+	// Graph is a weighted undirected graph with frozen CSR adjacency.
+	Graph = graph.Graph
+	// Edge is an undirected weighted edge.
+	Edge = graph.Edge
+	// WeightFn draws edge weights inside generators.
+	WeightFn = graph.WeightFn
+)
+
+// NewGraph builds a graph on n vertices from edges.
+func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.New(n, edges) }
+
+// Generator re-exports.
+var (
+	GNP                    = graph.GNP
+	GNM                    = graph.GNM
+	Grid                   = graph.Grid
+	Torus                  = graph.Torus
+	Cycle                  = graph.Cycle
+	Path                   = graph.Path
+	Star                   = graph.Star
+	Complete               = graph.Complete
+	RandomTree             = graph.RandomTree
+	PreferentialAttachment = graph.PreferentialAttachment
+	RandomGeometric        = graph.RandomGeometric
+	Connectify             = graph.Connectify
+	UnitWeight             = graph.UnitWeight
+	UniformWeight          = graph.UniformWeight
+	ExpWeight              = graph.ExpWeight
+	PowerWeight            = graph.PowerWeight
+)
+
+// Algorithm selects a spanner construction family.
+type Algorithm string
+
+const (
+	// AlgoGeneral is the §5 trade-off algorithm parameterized by T.
+	AlgoGeneral Algorithm = "general"
+	// AlgoClusterMerge is the §4 algorithm (T = 1): fastest, stretch O(k^{log 3}).
+	AlgoClusterMerge Algorithm = "cluster-merge"
+	// AlgoSqrtK is the §3 algorithm (T = ⌈√k⌉): stretch O(k) in O(√k) rounds.
+	AlgoSqrtK Algorithm = "sqrt-k"
+	// AlgoBaswanaSen is the classic [BS07] baseline: stretch 2k−1 in k−1 rounds.
+	AlgoBaswanaSen Algorithm = "baswana-sen"
+)
+
+// SpannerOptions configures BuildSpanner.
+type SpannerOptions struct {
+	// Algorithm defaults to AlgoGeneral.
+	Algorithm Algorithm
+	// K is the stretch parameter (required, ≥ 1).
+	K int
+	// T is the epoch length for AlgoGeneral (default ⌈log₂ k⌉, the paper's
+	// k^{1+o(1)}-stretch sweet spot); ignored by the other algorithms.
+	T int
+	// Seed drives all randomness; equal seeds give identical spanners.
+	Seed uint64
+	// Repetitions > 1 keeps the smallest of that many independent runs.
+	Repetitions int
+	// MeasureRadius additionally reports final cluster-tree radii.
+	MeasureRadius bool
+}
+
+// SpannerResult is re-exported from the core package.
+type SpannerResult = spanner.Result
+
+// BuildSpanner constructs a spanner of g with the selected algorithm.
+func BuildSpanner(g *Graph, opt SpannerOptions) (*SpannerResult, error) {
+	inner := spanner.Options{
+		Seed:          opt.Seed,
+		Repetitions:   opt.Repetitions,
+		MeasureRadius: opt.MeasureRadius,
+	}
+	switch opt.Algorithm {
+	case AlgoGeneral, "":
+		t := opt.T
+		if t <= 0 {
+			t = defaultT(opt.K)
+		}
+		return spanner.General(g, opt.K, t, inner)
+	case AlgoClusterMerge:
+		return spanner.ClusterMerge(g, opt.K, inner)
+	case AlgoSqrtK:
+		return spanner.SqrtK(g, opt.K, inner)
+	case AlgoBaswanaSen:
+		return spanner.BaswanaSen(g, opt.K, inner)
+	default:
+		return nil, fmt.Errorf("mpcspanner: unknown algorithm %q", opt.Algorithm)
+	}
+}
+
+// defaultT is the paper's t = log k sweet spot (stretch k^{1+o(1)} in
+// O(log² k / log log k) iterations).
+func defaultT(k int) int {
+	t := 0
+	for v := k; v > 1; v >>= 1 {
+		t++
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// UnweightedOptions and Unweighted expose the Appendix B construction for
+// unit-weight graphs: stretch O(k/γ) in O(log k) rounds.
+type UnweightedOptions = spanner.UnweightedOptions
+
+// UnweightedResult is the Appendix B result type.
+type UnweightedResult = spanner.UnweightedResult
+
+// BuildUnweightedSpanner runs the Appendix B algorithm.
+func BuildUnweightedSpanner(g *Graph, k int, opt UnweightedOptions) (*UnweightedResult, error) {
+	return spanner.Unweighted(g, k, opt)
+}
+
+// StretchBound returns the certified stretch of General(k, t): 2k^s with
+// s = log(2t+1)/log(t+1).
+func StretchBound(k, t int) float64 { return spanner.StretchBound(k, t) }
+
+// IterationBound returns the iteration guarantee of General(k, t).
+func IterationBound(k, t int) int { return spanner.IterationBound(k, t) }
+
+// Verify checks that a result is a valid spanner of g within maxStretch and
+// returns the measured stretch.
+func Verify(g *Graph, r *SpannerResult, maxStretch float64) (dist.StretchReport, error) {
+	return spanner.Verify(g, r, maxStretch)
+}
+
+// MPCResult is the distributed-execution result (rounds, memory, spanner).
+type MPCResult = mpc.Result
+
+// BuildSpannerMPC executes the general algorithm on the simulated
+// sublinear-memory MPC cluster (Theorem 1.1 / Section 6) and reports rounds
+// and memory alongside the spanner, which is bit-identical to
+// BuildSpanner(AlgoGeneral) under the same seed.
+func BuildSpannerMPC(g *Graph, k, t int, gamma float64, seed uint64) (*MPCResult, error) {
+	return mpc.BuildSpanner(g, k, t, gamma, seed)
+}
+
+// APSPOptions configures the §7 distance-approximation pipeline.
+type APSPOptions = apsp.Options
+
+// APSPResult is a completed §7 run.
+type APSPResult = apsp.Result
+
+// ApproxAPSP runs Corollary 1.4: an O(log^{1+o(1)} n)-approximate APSP
+// oracle built in poly(log log n) simulated MPC rounds.
+func ApproxAPSP(g *Graph, opt APSPOptions) (*APSPResult, error) { return apsp.Approx(g, opt) }
+
+// CCSpannerResult and CCAPSPResult expose the Congested Clique layer (§8).
+type (
+	// CCSpannerResult is a Theorem 8.1 construction.
+	CCSpannerResult = cclique.SpannerResult
+	// CCAPSPResult is a Corollary 1.5 run.
+	CCAPSPResult = cclique.APSPResult
+)
+
+// BuildSpannerCongestedClique runs Theorem 8.1 (w.h.p. size via per-iteration
+// parallel-run selection).
+func BuildSpannerCongestedClique(g *Graph, k, t int, seed uint64) (*CCSpannerResult, error) {
+	return cclique.BuildSpanner(g, k, t, seed)
+}
+
+// ApproxAPSPCongestedClique runs Corollary 1.5: the first sublogarithmic
+// weighted-APSP approximation in the Congested Clique.
+func ApproxAPSPCongestedClique(g *Graph, seed uint64) (*CCAPSPResult, error) {
+	return cclique.ApproxAPSP(g, seed)
+}

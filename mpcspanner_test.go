@@ -1,0 +1,102 @@
+package mpcspanner
+
+import (
+	"testing"
+)
+
+func TestFacadeAlgorithms(t *testing.T) {
+	g := GNP(300, 0.05, UniformWeight(1, 10), 1)
+	for _, algo := range []Algorithm{AlgoGeneral, AlgoClusterMerge, AlgoSqrtK, AlgoBaswanaSen} {
+		r, err := BuildSpanner(g, SpannerOptions{Algorithm: algo, K: 4, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if r.Size() == 0 || r.Size() > g.M() {
+			t.Fatalf("%s: implausible size %d", algo, r.Size())
+		}
+		bound := StretchBound(4, 4) // loosest family bound covers all four here
+		if algo == AlgoClusterMerge || algo == AlgoGeneral {
+			bound = StretchBound(4, 1)
+		}
+		if _, err := Verify(g, r, bound); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+	if _, err := BuildSpanner(g, SpannerOptions{Algorithm: "nope", K: 4}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestFacadeDefaultT(t *testing.T) {
+	// Default T is ⌈log₂ k⌉.
+	if defaultT(16) != 4 || defaultT(2) != 1 || defaultT(1) != 1 {
+		t.Fatalf("defaultT wrong: %d %d %d", defaultT(16), defaultT(2), defaultT(1))
+	}
+	g := GNP(200, 0.06, UnitWeight, 3)
+	r, err := BuildSpanner(g, SpannerOptions{K: 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.T != 4 {
+		t.Fatalf("default T = %d, want 4", r.Stats.T)
+	}
+}
+
+func TestFacadeMPCAndReferenceAgree(t *testing.T) {
+	g := Grid(14, 14, UniformWeight(1, 5), 5)
+	ref, err := BuildSpanner(g, SpannerOptions{K: 6, T: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpcRes, err := BuildSpannerMPC(g, 6, 2, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.EdgeIDs) != len(mpcRes.EdgeIDs) {
+		t.Fatalf("facade planes disagree: %d vs %d edges", len(ref.EdgeIDs), len(mpcRes.EdgeIDs))
+	}
+}
+
+func TestFacadeAPSP(t *testing.T) {
+	g := Connectify(GNP(300, 0.04, UniformWeight(1, 8), 9), 2)
+	res, err := ApproxAPSP(g, APSPOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := res.Measure(10, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Max > res.Bound {
+		t.Fatalf("approximation %.2f above bound %.2f", rep.Max, res.Bound)
+	}
+}
+
+func TestFacadeCongestedClique(t *testing.T) {
+	g := Connectify(GNP(250, 0.05, UniformWeight(1, 5), 15), 1)
+	sp, err := BuildSpannerCongestedClique(g, 6, 2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Rounds <= 0 {
+		t.Fatal("CC spanner must cost rounds")
+	}
+	ap, err := ApproxAPSPCongestedClique(g, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Rounds <= sp.Rounds/10 {
+		t.Fatal("CC APSP round bill implausible")
+	}
+}
+
+func TestFacadeUnweighted(t *testing.T) {
+	g := Cycle(200, UnitWeight, 21)
+	r, err := BuildUnweightedSpanner(g, 2, UnweightedOptions{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() == 0 {
+		t.Fatal("empty unweighted spanner")
+	}
+}
