@@ -1,0 +1,3 @@
+module mpcspanner
+
+go 1.24

@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mpcspanner/internal/graph"
+)
+
+func benchGraph(n int) *graph.Graph {
+	return graph.Connectify(graph.GNP(n, 12/float64(n), graph.UniformWeight(1, 100), 7), 50)
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if d := Dijkstra(g, i%g.N()); len(d) != g.N() {
+					b.Fatal("bad result")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMultiSourceDijkstra(b *testing.B) {
+	g := benchGraph(50_000)
+	sources := make([]int, 64)
+	for i := range sources {
+		sources[i] = (i * 677) % g.N()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if d, _ := MultiSourceDijkstra(g, sources); len(d) != g.N() {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkAPSPSerial is the single-threaded baseline for the speedup
+// tracked by BenchmarkAPSPParallel: compare ns/op between the two.
+func BenchmarkAPSPSerial(b *testing.B) {
+	g := benchGraph(2_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if m := apspWorkers(g, 1); len(m) != g.N() {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkAPSPParallel fans the same sources out over worker pools of
+// increasing size up to NumCPU. On a ≥4-core machine the NumCPU variant
+// should run ≥2× faster than BenchmarkAPSPSerial.
+func BenchmarkAPSPParallel(b *testing.B) {
+	g := benchGraph(2_000)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if m := apspWorkers(g, workers); len(m) != g.N() {
+					b.Fatal("bad result")
+				}
+			}
+		})
+	}
+}
+
+func benchWorkerCounts() []int {
+	counts := []int{2, 4}
+	if nc := runtime.NumCPU(); nc > 4 {
+		counts = append(counts, nc)
+	}
+	return counts
+}
+
+func BenchmarkSampledEdgeStretch(b *testing.B) {
+	g := benchGraph(20_000)
+	h := g.Subgraph(spannerLikeSubset(g))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SampledEdgeStretch(g, h, 500, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEdgeStretchFull(b *testing.B) {
+	g := benchGraph(5_000)
+	h := g.Subgraph(spannerLikeSubset(g))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EdgeStretch(g, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package dist
+
+import "mpcspanner/internal/graph"
+
+// BFSBall collects the BFS ball of radius `radius` hops around v, abandoning
+// the ball once it would exceed maxSize vertices. It returns the vertices
+// collected (v first, then in BFS order, at most maxSize of them) and whether
+// the true ball was truncated by the cap. Weights are ignored: the ball is a
+// hop ball, matching the Appendix B sparse/dense classification where a
+// vertex is sparse iff its 4k-hop ball fits in n^{γ/2} vertices.
+func BFSBall(g *graph.Graph, v, radius, maxSize int) (ball []int, truncated bool) {
+	if maxSize < 1 {
+		return nil, true
+	}
+	seen := map[int]bool{v: true}
+	ball = append(ball, v)
+	frontier := []int{v}
+	for hop := 0; hop < radius && len(frontier) > 0; hop++ {
+		var next []int
+		for _, x := range frontier {
+			for _, a := range g.Adj(x) {
+				if seen[a.To] {
+					continue
+				}
+				if len(ball) >= maxSize {
+					return ball, true
+				}
+				seen[a.To] = true
+				ball = append(ball, a.To)
+				next = append(next, a.To)
+			}
+		}
+		frontier = next
+	}
+	return ball, false
+}

@@ -1,0 +1,142 @@
+package dist
+
+import "mpcspanner/internal/graph"
+
+// heapItem is a (distance, vertex) pair on the Dijkstra frontier.
+type heapItem struct {
+	d float64
+	v int
+}
+
+// minHeap is a binary heap of heapItems ordered by distance. Stale entries
+// are tolerated (lazy deletion): a popped item whose distance exceeds the
+// settled label is skipped by the caller. This beats container/heap by
+// avoiding interface dispatch on the hot path.
+type minHeap []heapItem
+
+func (h *minHeap) push(it heapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].d <= (*h)[i].d {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() heapItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && old[l].d < old[s].d {
+			s = l
+		}
+		if r < n && old[r].d < old[s].d {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		old[i], old[s] = old[s], old[i]
+		i = s
+	}
+	return top
+}
+
+// Dijkstra returns the shortest-path distances from src to every vertex of
+// g. Unreachable vertices get Inf.
+func Dijkstra(g *graph.Graph, src int) []float64 {
+	d := make([]float64, g.N())
+	for i := range d {
+		d[i] = Inf
+	}
+	d[src] = 0
+	h := make(minHeap, 0, 64)
+	h.push(heapItem{0, src})
+	dijkstraRun(g, d, &h, nil, nil)
+	return d
+}
+
+// MultiSourceDijkstra runs Dijkstra from all sources simultaneously (the
+// distance to the nearest source). It returns the distance array and, for
+// every vertex, the index into sources of the source that settled it, or -1
+// for unreachable vertices. With unit weights the distances are hop counts,
+// which is how the Appendix B ball/hitting-set machinery uses it.
+func MultiSourceDijkstra(g *graph.Graph, sources []int) (dist []float64, nearest []int) {
+	n := g.N()
+	dist = make([]float64, n)
+	nearest = make([]int, n)
+	for i := range dist {
+		dist[i] = Inf
+		nearest[i] = -1
+	}
+	h := make(minHeap, 0, len(sources)+64)
+	for i, s := range sources {
+		if nearest[s] == -1 { // duplicate sources: first occurrence wins
+			dist[s] = 0
+			nearest[s] = i
+			h.push(heapItem{0, s})
+		}
+	}
+	dijkstraRun(g, dist, &h, nearest, nil)
+	return dist, nearest
+}
+
+// dijkstraRun drains the heap, settling labels into d. If origin is non-nil
+// it is propagated along relaxed arcs (multi-source attribution). If want is
+// non-nil, the run stops early once every vertex in want is settled; want is
+// consumed (vertices removed as they settle).
+func dijkstraRun(g *graph.Graph, d []float64, h *minHeap, origin []int, want map[int]bool) {
+	for len(*h) > 0 {
+		it := h.pop()
+		if it.d > d[it.v] {
+			continue // stale entry
+		}
+		if want != nil {
+			delete(want, it.v)
+			if len(want) == 0 {
+				return
+			}
+		}
+		for _, a := range g.Adj(it.v) {
+			nd := it.d + g.Edge(a.Edge).W
+			if nd < d[a.To] {
+				d[a.To] = nd
+				if origin != nil {
+					origin[a.To] = origin[it.v]
+				}
+				h.push(heapItem{nd, a.To})
+			}
+		}
+	}
+}
+
+// dijkstraTo returns the distances from src, computed only far enough to
+// settle every vertex in targets — the early-exit single-source query behind
+// the sampled stretch estimators. Entries beyond the settled frontier are an
+// upper bound or Inf; only the targets' entries are guaranteed exact.
+func dijkstraTo(g *graph.Graph, src int, targets []int) []float64 {
+	d := make([]float64, g.N())
+	for i := range d {
+		d[i] = Inf
+	}
+	d[src] = 0
+	want := make(map[int]bool, len(targets))
+	for _, t := range targets {
+		want[t] = true
+	}
+	delete(want, src)
+	h := make(minHeap, 0, 64)
+	h.push(heapItem{0, src})
+	dijkstraRun(g, d, &h, nil, want)
+	return d
+}

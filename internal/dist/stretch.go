@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/xrand"
+)
+
+// Randomness-stream tags for xrand.Split: distinct estimators under the same
+// seed draw from independent streams.
+const (
+	tagEdgeSample = 0x65737472 // "estr"
+	tagPairSample = 0x70616972 // "pair"
+)
+
+// EdgeStretch measures the stretch of every edge of g in h: the ratio
+// d_h(u,v) / w(u,v) over all edges {u,v} ∈ g. Checking every edge is
+// equivalent to checking all pairs (the spanner edge condition), which is
+// how Verify certifies the paper's bounds. Edges whose endpoints h
+// disconnects contribute Inf. h must share g's vertex set.
+func EdgeStretch(g, h *graph.Graph) (StretchReport, error) {
+	if err := compatible(g, h); err != nil {
+		return StretchReport{}, err
+	}
+	ids := make([]int, g.M())
+	for i := range ids {
+		ids[i] = i
+	}
+	return makeReport(edgeRatios(g, h, ids)), nil
+}
+
+// SampledEdgeStretch is EdgeStretch over `samples` edges drawn uniformly
+// (with replacement) from g via the stream (seed, "estr"); equal seeds give
+// identical reports. If samples meets or exceeds g.M() the check is exact.
+func SampledEdgeStretch(g, h *graph.Graph, samples int, seed uint64) (StretchReport, error) {
+	if err := compatible(g, h); err != nil {
+		return StretchReport{}, err
+	}
+	if samples < 0 {
+		return StretchReport{}, fmt.Errorf("dist: negative sample count %d", samples)
+	}
+	if samples >= g.M() {
+		return EdgeStretch(g, h)
+	}
+	rng := xrand.Split(seed, tagEdgeSample)
+	ids := make([]int, samples)
+	for i := range ids {
+		ids[i] = rng.Intn(g.M())
+	}
+	return makeReport(edgeRatios(g, h, ids)), nil
+}
+
+// edgeRatios computes d_h(u,v)/w for the given g-edge ids (duplicates
+// allowed). Queries are grouped by source endpoint so each distinct source
+// costs one early-exit Dijkstra in h, and the per-source runs are fanned out
+// over the worker pool. Ratio slots are written by index, so the output is
+// independent of scheduling.
+func edgeRatios(g, h *graph.Graph, ids []int) []float64 {
+	bySrc := make(map[int][]int) // source vertex -> positions in ids
+	for pos, id := range ids {
+		bySrc[g.Edge(id).U] = append(bySrc[g.Edge(id).U], pos)
+	}
+	srcs := make([]int, 0, len(bySrc))
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	ratios := make([]float64, len(ids))
+	parallelFor(len(srcs), func(i int) {
+		src := srcs[i]
+		positions := bySrc[src]
+		targets := make([]int, len(positions))
+		for j, pos := range positions {
+			targets[j] = g.Edge(ids[pos]).V
+		}
+		d := dijkstraTo(h, src, targets)
+		for _, pos := range positions {
+			e := g.Edge(ids[pos])
+			ratios[pos] = d[e.V] / e.W
+		}
+	})
+	return ratios
+}
+
+// PairStretch samples `sources` distinct Dijkstra sources from the stream
+// (seed, "pair") and measures d_h(s,v)/d_g(s,v) over every pair (s, v) with
+// v reachable from s in g — the approximation ratio of the §7/§8 APSP
+// oracles. Pairs g connects but h does not contribute Inf. If no sampled
+// source can reach any vertex, the zero-value report (Checked = 0) is
+// returned.
+func PairStretch(g, h *graph.Graph, sources int, seed uint64) (StretchReport, error) {
+	ratios, err := pairRatios(g, h, sources, seed)
+	if err != nil {
+		return StretchReport{}, err
+	}
+	return makeReport(ratios), nil
+}
+
+// StretchCDF returns the empirical quantiles of the PairStretch ratio
+// distribution, one value per requested quantile q ∈ [0, 1] (0 = minimum,
+// 1 = maximum). The sampling stream is the same as PairStretch's, so the
+// quantiles describe exactly the distribution behind that report. Unlike
+// PairStretch, an empty sample is an error: quantiles of nothing would be
+// silent NaNs.
+func StretchCDF(g, h *graph.Graph, sources int, quantiles []float64, seed uint64) ([]float64, error) {
+	ratios, err := pairRatios(g, h, sources, seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(ratios) == 0 {
+		return nil, fmt.Errorf("dist: sampled sources have no reachable pairs")
+	}
+	sort.Float64s(ratios)
+	out := make([]float64, len(quantiles))
+	for i, q := range quantiles {
+		out[i] = quantile(ratios, q)
+	}
+	return out, nil
+}
+
+// pairRatios draws the source sample and computes all finite-in-g pairwise
+// ratios, one g-Dijkstra and one h-Dijkstra per source, sources in parallel.
+func pairRatios(g, h *graph.Graph, sources int, seed uint64) ([]float64, error) {
+	if err := compatible(g, h); err != nil {
+		return nil, err
+	}
+	if sources < 1 {
+		return nil, fmt.Errorf("dist: need at least one source, got %d", sources)
+	}
+	n := g.N()
+	if sources > n {
+		sources = n
+	}
+	perm := xrand.Split(seed, tagPairSample).Perm(n)
+	srcs := perm[:sources]
+	perSource := make([][]float64, sources)
+	parallelFor(sources, func(i int) {
+		s := srcs[i]
+		dg := Dijkstra(g, s)
+		dh := Dijkstra(h, s)
+		var rs []float64
+		for v := range dg {
+			if v == s || dg[v] == Inf {
+				continue
+			}
+			rs = append(rs, dh[v]/dg[v])
+		}
+		perSource[i] = rs
+	})
+	var ratios []float64
+	for _, rs := range perSource {
+		ratios = append(ratios, rs...)
+	}
+	return ratios, nil
+}
+
+// compatible rejects graphs on different vertex sets: every estimator
+// compares distances vertex-by-vertex, which is meaningless otherwise.
+func compatible(g, h *graph.Graph) error {
+	if g.N() != h.N() {
+		return fmt.Errorf("dist: vertex count mismatch %d vs %d", g.N(), h.N())
+	}
+	return nil
+}
