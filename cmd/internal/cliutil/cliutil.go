@@ -1,0 +1,70 @@
+// Package cliutil holds the flag-level helpers the cmd/* drivers share, so
+// the generator vocabulary stays identical across CLIs.
+package cliutil
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"mpcspanner/internal/graph"
+)
+
+// MakeGraph loads a graph from file when in is non-empty, otherwise
+// generates one: gnp|grid|torus|pa|rgg|cycle on n vertices with average (or
+// attachment) degree deg and weights uniform in [1, maxW) (unit weights when
+// maxW <= 1). With connectify, disconnected outputs are bridged (weight
+// maxW) so every distance is finite — the oracle CLI wants that; the
+// spanner CLI serves disconnected inputs as-is.
+func MakeGraph(in, gen string, n int, deg, maxW float64, seed uint64, connectify bool) (*graph.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := graph.ReadFrom(f)
+		if err != nil {
+			return nil, err
+		}
+		if connectify {
+			// Bridge at the file's own weight scale, not the -maxw flag:
+			// a bridge lighter than real edges would fabricate plausible
+			// short cross-component distances.
+			bridge := 1.0
+			for _, e := range g.Edges() {
+				if e.W > bridge {
+					bridge = e.W
+				}
+			}
+			g = graph.Connectify(g, bridge)
+		}
+		return g, nil
+	}
+	w := graph.UnitWeight
+	if maxW > 1 {
+		w = graph.UniformWeight(1, maxW)
+	}
+	side := int(math.Sqrt(float64(n)))
+	var g *graph.Graph
+	switch gen {
+	case "gnp":
+		g = graph.GNP(n, deg/float64(n), w, seed)
+	case "grid":
+		g = graph.Grid(side, side, w, seed)
+	case "torus":
+		g = graph.Torus(side, side, w, seed)
+	case "pa":
+		g = graph.PreferentialAttachment(n, int(math.Max(1, deg)), w, seed)
+	case "rgg":
+		g = graph.RandomGeometric(n, math.Sqrt(deg/(math.Pi*float64(n))), true, w, seed)
+	case "cycle":
+		g = graph.Cycle(n, w, seed)
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+	if connectify {
+		g = graph.Connectify(g, math.Max(1, maxW))
+	}
+	return g, nil
+}

@@ -1,0 +1,165 @@
+// Command oracle is the serving-layer driver: it loads or generates a graph,
+// builds the Corollary 1.4 spanner (unless -exact), wraps it in the cached
+// distance oracle, and answers (source, target) queries from a pairs file,
+// stdin, or a synthetic Zipf workload.
+//
+//	go run ./cmd/oracle -gen gnp -n 20000 -deg 10 -synth 50000 -quiet
+//	go run ./cmd/oracle -in graph.txt -pairs queries.txt
+//	echo "0 99" | go run ./cmd/oracle -gen grid -n 10000 -exact
+//
+// Pairs files hold one "u v" pair per line ('#' comments allowed). Results
+// go to stdout, one distance per line in input order; cache statistics and
+// timings go to stderr.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mpcspanner"
+	"mpcspanner/cmd/internal/cliutil"
+	"mpcspanner/internal/apsp"
+	"mpcspanner/internal/oracle"
+)
+
+func main() {
+	gen := flag.String("gen", "gnp", "generator: gnp|grid|torus|pa|rgg|cycle")
+	in := flag.String("in", "", "read graph from file (overrides -gen)")
+	n := flag.Int("n", 10000, "vertices")
+	deg := flag.Float64("deg", 10, "average degree (gnp) / attachment degree (pa)")
+	maxW := flag.Float64("maxw", 100, "maximum edge weight (1 = unweighted)")
+	k := flag.Int("k", 0, "spanner stretch parameter (0 = Corollary 1.4's ⌈log₂ n⌉)")
+	t := flag.Int("t", 0, "epoch length (0 = default)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	exact := flag.Bool("exact", false, "serve exact distances on the input graph (skip the spanner)")
+	pairs := flag.String("pairs", "-", "pairs file, '-' = stdin (ignored with -synth)")
+	synth := flag.Int("synth", 0, "generate this many Zipf-source queries instead of reading pairs")
+	zipf := flag.Float64("zipf", 1.2, "Zipf exponent of the -synth source distribution")
+	shards := flag.Int("shards", 0, "cache shards (0 = default)")
+	rows := flag.Int("rows", 0, "cache budget in resident rows (0 = default)")
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = NumCPU)")
+	batch := flag.Int("batch", 1024, "serve queries in batches of this size (stats then show cross-batch cache hits); <= 0 = one batch")
+	quiet := flag.Bool("quiet", false, "suppress per-query output, print stats only")
+	flag.Parse()
+
+	// Bridge disconnected inputs so every served distance is finite — except
+	// in -exact mode, where the input graph must be served untouched and
+	// cross-component queries correctly answer +Inf.
+	g, err := cliutil.MakeGraph(*in, *gen, *n, *deg, *maxW, *seed, !*exact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "graph: n=%d m=%d\n", g.N(), g.M())
+
+	// Load and validate the workload first: a typo in a pairs file must fail
+	// in milliseconds, not after the spanner build. The spanner keeps the
+	// vertex set, so bounds checked against g hold for the served graph too.
+	var queries []oracle.Pair
+	if *synth > 0 {
+		if *zipf <= 0 {
+			log.Fatalf("-zipf exponent must be positive, got %g", *zipf)
+		}
+		if g.N() == 0 {
+			log.Fatal("cannot synthesize queries on an empty graph")
+		}
+		queries = oracle.ZipfWorkload(g.N(), *synth, *zipf, *seed)
+	} else if queries, err = readPairs(*pairs, g.N()); err != nil {
+		log.Fatal(err)
+	}
+
+	serve := g
+	if !*exact {
+		kk := *k
+		if kk <= 0 {
+			kk, _ = apsp.Params(g.N(), 0) // Corollary 1.4's k = ⌈log₂ n⌉
+		}
+		start := time.Now()
+		res, err := mpcspanner.BuildSpanner(g, mpcspanner.SpannerOptions{K: kk, T: *t, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		serve = g.Subgraph(res.EdgeIDs)
+		fmt.Fprintf(os.Stderr, "spanner: k=%d %d/%d edges, stretch <= %.2f, built in %v\n",
+			kk, serve.M(), g.M(), mpcspanner.StretchBound(kk, res.Stats.T), time.Since(start).Round(time.Millisecond))
+	}
+
+	o := mpcspanner.NewOracle(serve, mpcspanner.OracleOptions{Shards: *shards, MaxRows: *rows, Workers: *workers})
+
+	bs := *batch
+	if bs <= 0 || bs > len(queries) {
+		bs = len(queries)
+	}
+	start := time.Now()
+	dists := make([]float64, 0, len(queries))
+	for lo := 0; lo < len(queries); lo += bs {
+		hi := lo + bs
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		dists = append(dists, o.QueryMany(queries[lo:hi])...)
+	}
+	elapsed := time.Since(start)
+
+	if !*quiet {
+		w := bufio.NewWriter(os.Stdout)
+		for i, p := range queries {
+			fmt.Fprintf(w, "%d %d %g\n", p.U, p.V, dists[i])
+		}
+		w.Flush()
+	}
+	s := o.Stats()
+	perQ := float64(elapsed.Nanoseconds()) / math.Max(1, float64(len(queries)))
+	fmt.Fprintf(os.Stderr, "served %d queries in %v (%.0f ns/query)\n",
+		len(queries), elapsed.Round(time.Microsecond), perQ)
+	fmt.Fprintf(os.Stderr, "cache: hits=%d misses=%d evictions=%d resident=%d\n",
+		s.Hits, s.Misses, s.Evictions, s.Resident)
+}
+
+// readPairs parses one "u v" pair per line; '-' reads stdin.
+func readPairs(path string, n int) ([]oracle.Pair, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var out []oracle.Pair
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if len(text) == 0 || text[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("pairs line %d: want exactly 2 fields \"u v\", got %d", line, len(fields))
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("pairs line %d: %v", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("pairs line %d: %v", line, err)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("pairs line %d: vertex out of range [0,%d)", line, n)
+		}
+		out = append(out, oracle.Pair{U: u, V: v})
+	}
+	return out, sc.Err()
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"mpcspanner"
+	"mpcspanner/cmd/internal/cliutil"
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/graph"
 )
@@ -34,7 +35,7 @@ func main() {
 	out := flag.String("out", "", "write the spanner subgraph to this file")
 	flag.Parse()
 
-	g, err := makeGraph(*in, *gen, *n, *deg, *maxW, *seed)
+	g, err := cliutil.MakeGraph(*in, *gen, *n, *deg, *maxW, *seed, false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,38 +91,6 @@ func defaultT(k int) int {
 		t = 1
 	}
 	return t
-}
-
-func makeGraph(in, gen string, n int, deg, maxW float64, seed uint64) (*graph.Graph, error) {
-	if in != "" {
-		f, err := os.Open(in)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graph.ReadFrom(f)
-	}
-	w := graph.UnitWeight
-	if maxW > 1 {
-		w = graph.UniformWeight(1, maxW)
-	}
-	side := int(math.Sqrt(float64(n)))
-	switch gen {
-	case "gnp":
-		return graph.GNP(n, deg/float64(n), w, seed), nil
-	case "grid":
-		return graph.Grid(side, side, w, seed), nil
-	case "torus":
-		return graph.Torus(side, side, w, seed), nil
-	case "pa":
-		return graph.PreferentialAttachment(n, int(math.Max(1, deg)), w, seed), nil
-	case "rgg":
-		return graph.RandomGeometric(n, math.Sqrt(deg/(math.Pi*float64(n))), true, w, seed), nil
-	case "cycle":
-		return graph.Cycle(n, w, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown generator %q", gen)
-	}
 }
 
 func report(g *graph.Graph, ids []int, bound float64, verify int, seed uint64, out string) {

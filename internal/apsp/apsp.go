@@ -13,10 +13,12 @@ package apsp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/mpc"
+	"mpcspanner/internal/oracle"
 	"mpcspanner/internal/spanner"
 )
 
@@ -53,6 +55,9 @@ type Result struct {
 
 	g       *graph.Graph
 	spanner *graph.Graph
+
+	oracleOnce sync.Once
+	oracle     *oracle.Oracle
 }
 
 // Params returns Corollary 1.4's parameter choice for an n-vertex graph:
@@ -125,12 +130,45 @@ func Approx(g *graph.Graph, opt Options) (*Result, error) {
 // Spanner returns the collected spanner.
 func (r *Result) Spanner() *graph.Graph { return r.spanner }
 
-// DistancesFrom answers a single-source query on the collected spanner —
-// the local computation of the machine holding it.
-func (r *Result) DistancesFrom(v int) []float64 { return dist.Dijkstra(r.spanner, v) }
+// oracleBudgetBytes bounds the memory the Result's shared oracle may retain
+// in cached rows (64 MiB) — the Result must not silently grow toward the
+// Θ(n²) footprint Matrix warns about just because many sources were queried.
+const oracleBudgetBytes = 64 << 20
 
-// Matrix materializes the full approximate APSP matrix (n² memory; for
-// verification-scale graphs).
+// Oracle returns the serving layer over the collected spanner: a
+// concurrency-safe, cached distance oracle. It is created on first use and
+// shared by every subsequent call (including DistancesFrom), so repeated
+// queries on hot sources cost one Dijkstra per distinct source rather than
+// one per call. Its row budget is scaled so cached rows stay under 64 MiB
+// regardless of n; for a different cache topology build one directly:
+// oracle.New(r.Spanner(), opts).
+func (r *Result) Oracle() *oracle.Oracle {
+	r.oracleOnce.Do(func() {
+		rows := oracleBudgetBytes / (8 * r.spanner.N())
+		if rows < 1 {
+			rows = 1
+		}
+		if rows > 1024 {
+			rows = 1024
+		}
+		r.oracle = oracle.New(r.spanner, oracle.Options{MaxRows: rows})
+	})
+	return r.oracle
+}
+
+// DistancesFrom answers a single-source query on the collected spanner —
+// the local computation of the machine holding it. Rows are served from the
+// shared Oracle cache; the returned slice is a private copy the caller may
+// keep or mutate.
+func (r *Result) DistancesFrom(v int) []float64 {
+	return append([]float64(nil), r.Oracle().Row(v)...)
+}
+
+// Matrix materializes the full approximate APSP matrix. It allocates Θ(n²)
+// float64s — 800 MB at n = 10⁵ — and recomputes every row, so it is meant
+// for verification-scale graphs only (BenchmarkMatrix tracks the cost).
+// Callers with sparse or skewed query patterns should use Oracle instead,
+// which caches only the rows actually touched under an LRU budget.
 func (r *Result) Matrix() [][]float64 { return dist.APSP(r.spanner) }
 
 // Measure samples the pairwise approximation ratio dist_H/dist_G over

@@ -123,6 +123,34 @@ func TestApproxCDFQuantiles(t *testing.T) {
 	}
 }
 
+func TestOracleServesSpannerDistances(t *testing.T) {
+	g := graph.Connectify(graph.GNP(150, 0.05, graph.UniformWeight(1, 8), 43), 2)
+	res, err := Approx(g, Options{Seed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Oracle()
+	if o != res.Oracle() {
+		t.Fatal("Oracle() must return the shared instance")
+	}
+	truth := dist.APSP(res.Spanner())
+	for v := 0; v < g.N(); v += 7 {
+		row := o.Row(v)
+		for u := range row {
+			if row[u] != truth[v][u] {
+				t.Fatalf("oracle row %d disagrees with spanner APSP at %d", v, u)
+			}
+		}
+		// DistancesFrom must serve the same values through the cache.
+		if dv := res.DistancesFrom(v); dv[0] != truth[v][0] {
+			t.Fatalf("DistancesFrom(%d) diverged", v)
+		}
+	}
+	if s := o.Stats(); s.Misses == 0 || s.Hits == 0 {
+		t.Fatalf("cache did not register the repeated rows: %+v", s)
+	}
+}
+
 func TestApproxValidates(t *testing.T) {
 	if _, err := Approx(graph.MustNew(1, nil), Options{}); err == nil {
 		t.Fatal("single-vertex graph accepted")

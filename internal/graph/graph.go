@@ -1,11 +1,15 @@
-// Package graph provides the weighted undirected graph substrate used by
-// every algorithm in this repository: a compact edge-list + CSR adjacency
-// representation, synthetic workload generators, a disjoint-set forest, and
-// plain-text I/O.
+// Package graph provides the weighted undirected graph substrate every
+// algorithm of the reproduced paper (§3–§8) runs on: a compact edge-list +
+// CSR adjacency representation, synthetic workload generators, a
+// disjoint-set forest, and plain-text I/O.
 //
 // Vertices are dense integers [0, N). Edges are undirected and stored once;
 // the index of an edge in Edges is its stable identifier, which the spanner
 // algorithms use to report exactly which input edges they selected.
+//
+// A Graph is immutable after construction and safe for concurrent readers —
+// the property the parallel distance subsystem (internal/dist) and the
+// cached oracle (internal/oracle) rely on for lock-free reads.
 package graph
 
 import (

@@ -1,0 +1,78 @@
+package oracle
+
+import (
+	"testing"
+
+	"mpcspanner/internal/dist"
+	"mpcspanner/internal/graph"
+)
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	return graph.Connectify(graph.GNP(4000, 8/4000.0, graph.UniformWeight(1, 100), 1), 50)
+}
+
+// BenchmarkOracleColdVsWarm times the same Zipf batch against a fresh cache
+// (every distinct source pays a Dijkstra) and a pre-warmed one (every pair is
+// a row lookup). The gap is the serving-layer speedup the §7 oracle regime
+// is about.
+func BenchmarkOracleColdVsWarm(b *testing.B) {
+	g := benchGraph(b)
+	pairs := ZipfWorkload(g.N(), 2000, 1.2, 7)
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := New(g, Options{MaxRows: 4096})
+			o.QueryMany(pairs)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		o := New(g, Options{MaxRows: 4096})
+		o.QueryMany(pairs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.QueryMany(pairs)
+		}
+	})
+}
+
+// BenchmarkQueryMany races the warm oracle against the pre-PR behavior —
+// one dist.Dijkstra per query — on the same Zipf workload. The acceptance
+// bar is ≥ 5× for the oracle; TestQueryManyMatchesNaive pins bit-identical
+// results.
+func BenchmarkQueryMany(b *testing.B) {
+	g := benchGraph(b)
+	pairs := ZipfWorkload(g.N(), 500, 1.2, 11)
+
+	b.Run("naive-dijkstra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range pairs {
+				_ = dist.Dijkstra(g, p.U)[p.V]
+			}
+		}
+	})
+	b.Run("oracle-warm", func(b *testing.B) {
+		o := New(g, Options{MaxRows: 4096})
+		o.QueryMany(pairs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.QueryMany(pairs)
+		}
+	})
+}
+
+// TestQueryManyMatchesNaive is the bit-identity companion to
+// BenchmarkQueryMany: the cached batch path must return exactly what naive
+// per-query Dijkstra returns.
+func TestQueryManyMatchesNaive(t *testing.T) {
+	g := graph.Connectify(graph.GNP(300, 8/300.0, graph.UniformWeight(1, 100), 1), 50)
+	pairs := ZipfWorkload(g.N(), 400, 1.2, 11)
+	o := New(g, Options{})
+	got := o.QueryMany(pairs)
+	for i, p := range pairs {
+		want := dist.Dijkstra(g, p.U)[p.V]
+		if got[i] != want {
+			t.Fatalf("pair %d (%d,%d): oracle %v != naive %v", i, p.U, p.V, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package oracle is the serving layer for the paper's §7 / Corollary 1.4
+// payoff: once a near-linear spanner is built and collected onto one machine,
+// every distance query is answered locally on it. internal/apsp answers such
+// queries by running one Dijkstra per call; this package wraps any frozen
+// graph.Graph (typically a spanner) in a concurrency-safe oracle that
+// memoizes per-source distance rows, so repeated and skewed query workloads —
+// the regime an APSP oracle exists to serve — cost one shortest-path
+// computation per distinct source instead of one per query.
+//
+// Topology: the cache is split into shards keyed by source % shards, each
+// with its own mutex, so concurrent queries on distinct sources do not
+// contend. The Options.MaxRows budget (one row = n float64s) is partitioned
+// round-robin across the shards, and each shard evicts its own least
+// recently used row when a newly computed one would exceed its share — so a
+// workload whose hot sources all collide in one shard can use only that
+// shard's fraction of the budget (lower Shards if that bites). A
+// singleflight-style in-flight table per shard deduplicates concurrent
+// misses on the same source: one goroutine computes the row, the rest wait
+// for it, and the computation is charged exactly once.
+//
+// Batch queries go through QueryMany, which groups pairs by source, answers
+// sources already resident immediately, and fans the remaining distinct
+// sources over a worker pool. Results are written into position-addressed
+// slots, so the output is a pure function of the input pairs regardless of
+// scheduling — design rule 1 of DESIGN.md §3, inherited here as the
+// determinism rule for batch fan-out (DESIGN.md §5).
+package oracle
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mpcspanner/internal/dist"
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/xrand"
+)
+
+// Pair is one (source, target) distance query.
+type Pair struct {
+	U, V int
+}
+
+// Options configures New. The zero value selects the defaults.
+type Options struct {
+	// Shards is the number of independently locked cache shards. Zero
+	// selects 16. The effective count never exceeds MaxRows (every shard
+	// must be able to hold at least one row) or the vertex count.
+	Shards int
+
+	// MaxRows is the cache budget in resident rows across all shards; each
+	// row holds n float64s, so the memory ceiling is MaxRows·n·8 bytes.
+	// Zero selects 1024 rows; negative values are clamped to 1.
+	MaxRows int
+
+	// Workers is the QueryMany fan-out pool size. Zero selects
+	// runtime.NumCPU().
+	Workers int
+}
+
+// Stats is a point-in-time snapshot of the cache counters. Hits and Misses
+// count row acquisitions (one per distinct source of a batch, not one per
+// pair): an acquisition is a hit when the row was already resident or being
+// computed by another goroutine, and a miss when it triggered a Dijkstra run
+// — so Misses equals the number of shortest-path computations performed.
+type Stats struct {
+	Hits      int64 // row acquisitions served without a new computation
+	Misses    int64 // row acquisitions that ran Dijkstra
+	Evictions int64 // rows dropped by the LRU policy
+	Resident  int64 // rows currently cached
+}
+
+// Oracle serves approximate (or exact, if g is the original graph) distance
+// queries over a frozen graph with a sharded per-source row cache. It is
+// safe for concurrent use.
+type Oracle struct {
+	g       *graph.Graph
+	shards  []shard
+	workers int
+
+	hits, misses, evictions atomic.Int64
+}
+
+// entry is one cached row plus its place in the shard's LRU list.
+type entry struct {
+	src        int
+	row        []float64
+	prev, next *entry // intrusive LRU list; head = most recent
+}
+
+// call is an in-flight row computation other goroutines can wait on.
+type call struct {
+	done chan struct{}
+	row  []float64
+}
+
+// shard is one lock domain of the cache: the sources s with
+// s % len(shards) == shardIndex.
+type shard struct {
+	mu       sync.Mutex
+	cap      int // max resident rows in this shard, ≥ 1
+	rows     map[int]*entry
+	inflight map[int]*call
+	head     *entry // most recently used
+	tail     *entry // least recently used, next eviction victim
+}
+
+// New returns an oracle over g. The graph must be frozen (it is read, never
+// written); the oracle holds a reference, not a copy.
+func New(g *graph.Graph, opt Options) *Oracle {
+	maxRows := opt.MaxRows
+	if maxRows == 0 {
+		maxRows = 1024
+	}
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	nshards := opt.Shards
+	if nshards <= 0 {
+		nshards = 16
+	}
+	if nshards > maxRows {
+		nshards = maxRows // every shard must hold ≥ 1 row
+	}
+	if n := g.N(); nshards > n && n > 0 {
+		nshards = n
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	o := &Oracle{g: g, shards: make([]shard, nshards), workers: workers}
+	// Distribute the row budget round-robin so the shard capacities sum to
+	// exactly maxRows.
+	for i := range o.shards {
+		c := maxRows / nshards
+		if i < maxRows%nshards {
+			c++
+		}
+		o.shards[i] = shard{cap: c, rows: make(map[int]*entry), inflight: make(map[int]*call)}
+	}
+	return o
+}
+
+// Graph returns the graph the oracle serves distances on.
+func (o *Oracle) Graph() *graph.Graph { return o.g }
+
+// checkVertex panics — in the caller's goroutine, before any cache state is
+// touched — when v is not a vertex of the served graph. Validating at the
+// entry points keeps a bad query recoverable: it can never strand a
+// singleflight entry or kill a library-spawned worker.
+func (o *Oracle) checkVertex(v int) {
+	if v < 0 || v >= o.g.N() {
+		panic(fmt.Sprintf("oracle: vertex %d out of range [0,%d)", v, o.g.N()))
+	}
+}
+
+// Query returns the distance from u to v (dist.Inf when unreachable). The
+// row is cached under source u. It panics if u or v is not a vertex.
+func (o *Oracle) Query(u, v int) float64 {
+	o.checkVertex(v)
+	return o.Row(u)[v]
+}
+
+// Row returns the full distance row from src, computing and caching it on a
+// miss. The returned slice is shared with the cache: callers must not mutate
+// it. It stays valid after eviction (eviction drops the cache's reference,
+// not the slice). It panics if src is not a vertex.
+func (o *Oracle) Row(src int) []float64 {
+	o.checkVertex(src)
+	sh := &o.shards[src%len(o.shards)]
+	sh.mu.Lock()
+	if e, ok := sh.rows[src]; ok {
+		sh.moveToFront(e)
+		sh.mu.Unlock()
+		o.hits.Add(1)
+		return e.row
+	}
+	if c, ok := sh.inflight[src]; ok {
+		sh.mu.Unlock()
+		<-c.done // another goroutine is computing this row; share it
+		o.hits.Add(1)
+		return c.row
+	}
+	c := &call{done: make(chan struct{})}
+	sh.inflight[src] = c
+	sh.mu.Unlock()
+
+	o.misses.Add(1)
+	c.row = dist.Dijkstra(o.g, src)
+
+	sh.mu.Lock()
+	delete(sh.inflight, src)
+	sh.insert(&entry{src: src, row: c.row})
+	for len(sh.rows) > sh.cap {
+		sh.evictOldest()
+		o.evictions.Add(1)
+	}
+	sh.mu.Unlock()
+	close(c.done)
+	return c.row
+}
+
+// peek returns the row for src iff it is already resident, counting a hit
+// and refreshing its LRU position. It never waits and never computes.
+func (o *Oracle) peek(src int) ([]float64, bool) {
+	sh := &o.shards[src%len(o.shards)]
+	sh.mu.Lock()
+	e, ok := sh.rows[src]
+	if ok {
+		sh.moveToFront(e)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	o.hits.Add(1)
+	return e.row, true
+}
+
+// QueryMany answers a batch of pairs: out[i] is the distance for pairs[i].
+// Pairs are grouped by source; sources already resident are answered
+// immediately, and the remaining distinct sources fan out over the worker
+// pool, each worker writing only the slots of its own source. The result is
+// therefore deterministic — a pure function of (graph, pairs) — regardless
+// of scheduling, cache state, or concurrent callers. It panics — before any
+// work is fanned out, so the panic is recoverable by the caller — if any
+// pair names a vertex outside the graph.
+func (o *Oracle) QueryMany(pairs []Pair) []float64 {
+	for _, p := range pairs {
+		o.checkVertex(p.U)
+		o.checkVertex(p.V)
+	}
+	out := make([]float64, len(pairs))
+	// Group pair indices by source, preserving first-seen source order so
+	// the fan-out below is stable.
+	bySrc := make(map[int][]int, len(pairs))
+	var order []int
+	for i, p := range pairs {
+		if _, ok := bySrc[p.U]; !ok {
+			order = append(order, p.U)
+		}
+		bySrc[p.U] = append(bySrc[p.U], i)
+	}
+	// Fast pass: sources already resident are answered without touching the
+	// pool.
+	missing := order[:0]
+	for _, src := range order {
+		if row, ok := o.peek(src); ok {
+			for _, i := range bySrc[src] {
+				out[i] = row[pairs[i].V]
+			}
+		} else {
+			missing = append(missing, src)
+		}
+	}
+	if len(missing) == 0 {
+		return out
+	}
+	// Fan the uncached sources over the pool. Each worker holds the row it
+	// acquired while filling its slots, so a concurrent eviction cannot
+	// invalidate the batch.
+	workers := o.workers
+	if workers > len(missing) {
+		workers = len(missing)
+	}
+	if workers <= 1 {
+		for _, src := range missing {
+			row := o.Row(src)
+			for _, i := range bySrc[src] {
+				out[i] = row[pairs[i].V]
+			}
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(missing) {
+					return
+				}
+				src := missing[j]
+				row := o.Row(src)
+				for _, i := range bySrc[src] {
+					out[i] = row[pairs[i].V]
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// ZipfWorkload draws q (source, target) pairs with Zipf(exponent)
+// distributed sources over [0, n) and uniform targets — the skewed
+// hot-source access pattern a serving-layer cache exists for. The
+// benchmarks and cmd/oracle's -synth mode share it, so the CLI serves
+// exactly the workload the README numbers describe. Deterministic in seed.
+func ZipfWorkload(n, q int, exponent float64, seed uint64) []Pair {
+	src := xrand.NewZipf(xrand.Split(seed, 0xface), n, exponent)
+	tgt := xrand.Split(seed, 0xbeef)
+	pairs := make([]Pair, q)
+	for i := range pairs {
+		pairs[i] = Pair{U: src.Next(), V: tgt.Intn(n)}
+	}
+	return pairs
+}
+
+// Stats returns a snapshot of the cache counters. Resident is summed under
+// the shard locks; the other counters are atomic and may lag in-flight
+// operations by design.
+func (o *Oracle) Stats() Stats {
+	s := Stats{
+		Hits:      o.hits.Load(),
+		Misses:    o.misses.Load(),
+		Evictions: o.evictions.Load(),
+	}
+	for i := range o.shards {
+		sh := &o.shards[i]
+		sh.mu.Lock()
+		s.Resident += int64(len(sh.rows))
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// insert links e at the front of the LRU list and indexes it. Caller holds
+// the shard lock.
+func (sh *shard) insert(e *entry) {
+	sh.rows[e.src] = e
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+// moveToFront refreshes e's recency. Caller holds the shard lock.
+func (sh *shard) moveToFront(e *entry) {
+	if sh.head == e {
+		return
+	}
+	// Unlink.
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	// Relink at head.
+	e.prev = nil
+	e.next = sh.head
+	sh.head.prev = e
+	sh.head = e
+}
+
+// evictOldest drops the least recently used row. Caller holds the shard lock
+// and guarantees the shard is non-empty.
+func (sh *shard) evictOldest() {
+	victim := sh.tail
+	delete(sh.rows, victim.src)
+	sh.tail = victim.prev
+	if sh.tail != nil {
+		sh.tail.next = nil
+	} else {
+		sh.head = nil
+	}
+	victim.prev, victim.next = nil, nil
+}

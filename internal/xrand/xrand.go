@@ -6,14 +6,19 @@
 // same algorithm — e.g. the sequential reference implementation in
 // internal/spanner and the simulated distributed execution in internal/mpc —
 // therefore draw identical coins for identical logical events and produce
-// bit-identical outputs, which the test suite relies on.
+// bit-identical outputs. That shared-randomness property is what the paper's
+// §6 simulation and the Appendix B local [BS07] simulations assume, and the
+// cross-plane equality checks of the test suite rely on it.
 //
 // The generator is splitmix64 (Steele, Lea, Flood 2014), which passes BigCrush
 // and has a trivially splittable structure: hashing the key tuple into the
 // state yields independent streams for distinct tuples.
 package xrand
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // golden is the splitmix64 increment, 2^64 / phi rounded to odd.
 const golden = 0x9e3779b97f4a7c15
@@ -111,6 +116,45 @@ func (s *Source) ExpFloat64() float64 {
 		u = math.Nextafter(1, 0)
 	}
 	return -math.Log(1 - u)
+}
+
+// Zipf draws from the Zipf distribution over [0, n): P(i) ∝ 1/(i+1)^s.
+// It models the skewed (hot-source) query workloads the distance-oracle
+// benchmarks serve, via inverse-CDF sampling over a precomputed table.
+// Construction is O(n); each draw is O(log n). Deterministic given src.
+type Zipf struct {
+	src *Source
+	cdf []float64 // cdf[i] = P(X <= i), cdf[n-1] = 1
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s > 0 drawing
+// its randomness from src. It panics if n <= 0 or s <= 0.
+func NewZipf(src *Source, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("xrand: NewZipf with non-positive exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1
+	return &Zipf{src: src, cdf: cdf}
+}
+
+// Next returns the next Zipf-distributed value in [0, n).
+func (z *Zipf) Next() int {
+	u := z.src.Float64()
+	// The first index with cdf[i] >= u is the bucket whose CDF interval
+	// [cdf[i-1], cdf[i]) contains u; u < 1 = cdf[n-1] keeps it in range.
+	return sort.SearchFloat64s(z.cdf, u)
 }
 
 // CoinAt is the cross-plane sampling primitive: it reports whether the coin

@@ -213,6 +213,55 @@ func TestMixBijectiveSample(t *testing.T) {
 	}
 }
 
+func TestZipfRangeAndDeterminism(t *testing.T) {
+	a := NewZipf(New(31), 100, 1.1)
+	b := NewZipf(New(31), 100, 1.1)
+	for i := 0; i < 5000; i++ {
+		av, bv := a.Next(), b.Next()
+		if av != bv {
+			t.Fatalf("draw %d: %d != %d under equal seeds", i, av, bv)
+		}
+		if av < 0 || av >= 100 {
+			t.Fatalf("Zipf draw %d out of [0,100)", av)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With exponent 1 over [0,100), P(0) = 1/H_100 ≈ 0.193: the head must
+	// dominate and the ranks must be (statistically) ordered.
+	z := NewZipf(New(37), 100, 1)
+	const n = 100000
+	counts := make([]int, 100)
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	p0 := float64(counts[0]) / n
+	if math.Abs(p0-0.193) > 0.01 {
+		t.Fatalf("P(0) = %v, want ≈ 0.193", p0)
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[10] || counts[10] <= counts[90] {
+		t.Fatalf("Zipf counts not decreasing: head %d, %d, mid %d, tail %d",
+			counts[0], counts[1], counts[10], counts[90])
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {10, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipf(%d, %v) should panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(New(1), tc.n, tc.s)
+		}()
+	}
+}
+
 func TestQuickSplitDeterminism(t *testing.T) {
 	f := func(seed, a, b uint64) bool {
 		x := Split(seed, a, b).Uint64()

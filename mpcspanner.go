@@ -25,6 +25,7 @@ import (
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/mpc"
+	"mpcspanner/internal/oracle"
 	"mpcspanner/internal/spanner"
 )
 
@@ -42,24 +43,43 @@ type (
 // NewGraph builds a graph on n vertices from edges.
 func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.New(n, edges) }
 
-// Generator re-exports.
+// Synthetic workload generators, re-exported from internal/graph. Each takes
+// a WeightFn and an explicit seed; equal seeds give identical graphs.
 var (
-	GNP                    = graph.GNP
-	GNM                    = graph.GNM
-	Grid                   = graph.Grid
-	Torus                  = graph.Torus
-	Cycle                  = graph.Cycle
-	Path                   = graph.Path
-	Star                   = graph.Star
-	Complete               = graph.Complete
-	RandomTree             = graph.RandomTree
+	// GNP is the Erdős–Rényi G(n, p) random graph.
+	GNP = graph.GNP
+	// GNM is the uniform random graph with exactly m edges.
+	GNM = graph.GNM
+	// Grid is the 2-D lattice (road-network-like workloads).
+	Grid = graph.Grid
+	// Torus is the wrap-around 2-D lattice.
+	Torus = graph.Torus
+	// Cycle is the n-cycle.
+	Cycle = graph.Cycle
+	// Path is the n-vertex path.
+	Path = graph.Path
+	// Star is the n-vertex star.
+	Star = graph.Star
+	// Complete is the clique K_n.
+	Complete = graph.Complete
+	// RandomTree is a uniform random spanning tree on n vertices.
+	RandomTree = graph.RandomTree
+	// PreferentialAttachment is the Barabási–Albert scale-free generator
+	// (social-network-like degree skew).
 	PreferentialAttachment = graph.PreferentialAttachment
-	RandomGeometric        = graph.RandomGeometric
-	Connectify             = graph.Connectify
-	UnitWeight             = graph.UnitWeight
-	UniformWeight          = graph.UniformWeight
-	ExpWeight              = graph.ExpWeight
-	PowerWeight            = graph.PowerWeight
+	// RandomGeometric connects points of the unit square within a radius.
+	RandomGeometric = graph.RandomGeometric
+	// Connectify bridges a disconnected graph's components so every
+	// distance (and hence every stretch ratio) is finite.
+	Connectify = graph.Connectify
+	// UnitWeight assigns weight 1 to every edge.
+	UnitWeight = graph.UnitWeight
+	// UniformWeight draws weights uniformly from [lo, hi).
+	UniformWeight = graph.UniformWeight
+	// ExpWeight draws exponentially distributed weights.
+	ExpWeight = graph.ExpWeight
+	// PowerWeight draws heavy-tailed power-law weights.
+	PowerWeight = graph.PowerWeight
 )
 
 // Algorithm selects a spanner construction family.
@@ -179,6 +199,27 @@ type APSPResult = apsp.Result
 // ApproxAPSP runs Corollary 1.4: an O(log^{1+o(1)} n)-approximate APSP
 // oracle built in poly(log log n) simulated MPC rounds.
 func ApproxAPSP(g *Graph, opt APSPOptions) (*APSPResult, error) { return apsp.Approx(g, opt) }
+
+// The distance-oracle serving layer (internal/oracle): the §7 regime where
+// the spanner is built once and then serves many queries locally.
+type (
+	// Oracle is a concurrency-safe cached distance oracle over a frozen
+	// graph: sharded per-source row LRU, singleflight miss dedup, and a
+	// deterministic batched query API.
+	Oracle = oracle.Oracle
+	// OracleOptions configures NewOracle (shards, row budget, workers).
+	OracleOptions = oracle.Options
+	// OracleStats is a snapshot of the oracle's cache counters.
+	OracleStats = oracle.Stats
+	// Pair is one (source, target) query of Oracle.QueryMany.
+	Pair = oracle.Pair
+)
+
+// NewOracle wraps a frozen graph — typically the spanner of a BuildSpanner
+// or ApproxAPSP run, via g.Subgraph(res.EdgeIDs) or res.Spanner() — in a
+// cached serving layer. Point queries hit Oracle.Query, batches
+// Oracle.QueryMany; Oracle.Stats reports hits/misses/evictions.
+func NewOracle(g *Graph, opt OracleOptions) *Oracle { return oracle.New(g, opt) }
 
 // CCSpannerResult and CCAPSPResult expose the Congested Clique layer (§8).
 type (

@@ -2,6 +2,8 @@ package mpcspanner
 
 import (
 	"testing"
+
+	"mpcspanner/internal/dist"
 )
 
 func TestFacadeAlgorithms(t *testing.T) {
@@ -69,6 +71,32 @@ func TestFacadeAPSP(t *testing.T) {
 	}
 	if rep.Max > res.Bound {
 		t.Fatalf("approximation %.2f above bound %.2f", rep.Max, res.Bound)
+	}
+}
+
+func TestFacadeOracle(t *testing.T) {
+	g := Connectify(GNP(200, 0.05, UniformWeight(1, 8), 25), 2)
+	res, err := ApproxAPSP(g, APSPOptions{Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NewOracle over the collected spanner must agree with an independent
+	// cache-free Dijkstra on the spanner, and with the result's shared
+	// oracle (which also backs DistancesFrom).
+	o := NewOracle(res.Spanner(), OracleOptions{Shards: 4, MaxRows: 16})
+	pairs := []Pair{{U: 0, V: 10}, {U: 0, V: 20}, {U: 5, V: 0}, {U: 199, V: 3}}
+	got := o.QueryMany(pairs)
+	for i, p := range pairs {
+		if want := dist.Dijkstra(res.Spanner(), p.U)[p.V]; got[i] != want {
+			t.Fatalf("pair %v: oracle %v != Dijkstra %v", p, got[i], want)
+		}
+		if shared := res.Oracle().Query(p.U, p.V); got[i] != shared {
+			t.Fatalf("pair %v: standalone %v != shared %v", p, got[i], shared)
+		}
+	}
+	s := o.Stats()
+	if s.Misses != 3 || s.Resident != 3 {
+		t.Fatalf("stats %+v, want 3 misses / 3 resident for 3 distinct sources", s)
 	}
 }
 
