@@ -1,0 +1,199 @@
+// Command benchjson is the bench-regression gate's plumbing: it converts
+// `go test -bench` output into a stable JSON profile and compares two such
+// profiles against a regression threshold. It exists so CI needs no
+// third-party benchstat dependency.
+//
+// Convert (reads bench output from stdin):
+//
+//	go test -run '^$' -bench . -benchtime 3x -count 3 ./... | benchjson -out BENCH_spanner.json
+//
+// Compare (exit 1 if any benchmark present in both profiles slowed down by
+// more than the threshold factor; flags must precede the file arguments,
+// as Go's flag parsing stops at the first positional):
+//
+//	benchjson -compare -threshold 1.25 BENCH_spanner.json BENCH_new.json
+//
+// Profiles key benchmarks by their name with the trailing -GOMAXPROCS
+// suffix stripped, and record the minimum ns/op over all samples of a name
+// (the least-noise estimator for -count repeats). Comparison only considers
+// names present in both profiles, so machines with different core counts —
+// which emit different workers=N sub-benchmarks — compare on their shared
+// serial rows; names missing from either side are reported as warnings.
+//
+// Raw ns/op is only comparable on like hardware, so profiles record the
+// `cpu:` line go test prints. When the two profiles come from different
+// CPUs the comparison report still prints but the gate exits 0 with a
+// calibration notice — commit the freshly produced profile as the new
+// baseline to arm the gate on that hardware. On matching CPUs the
+// threshold is enforced strictly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's recorded cost.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Samples int     `json:"samples"`
+}
+
+// Profile is the serialized BENCH_*.json shape.
+type Profile struct {
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8   3   12345678 ns/op ..." (the value
+// may be fractional, e.g. "0.5 ns/op").
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+// procSuffix strips the trailing -GOMAXPROCS decoration go test appends, so
+// profiles from machines with different core counts share keys.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("out", "", "write the converted profile to this file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two profiles: benchjson -compare baseline.json new.json")
+	threshold := flag.Float64("threshold", 1.25, "fail -compare when new/baseline ns/op exceeds this factor")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatalf("usage: benchjson -compare [-threshold 1.25] baseline.json new.json")
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+	if flag.NArg() != 0 {
+		fatalf("usage: benchjson [-out file] < bench-output")
+	}
+	prof := parse(os.Stdin)
+	if len(prof.Benchmarks) == 0 {
+		fatalf("benchjson: no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(prof, "", "  ")
+	if err != nil {
+		fatalf("benchjson: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(prof.Benchmarks), *out)
+}
+
+// parse folds bench output into a profile, keeping the minimum ns/op per
+// (suffix-stripped) name.
+func parse(f *os.File) Profile {
+	prof := Profile{Benchmarks: map[string]Entry{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok && prof.CPU == "" {
+			prof.CPU = cpu
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		e, ok := prof.Benchmarks[name]
+		if !ok || ns < e.NsPerOp {
+			e.NsPerOp = ns
+		}
+		e.Samples++
+		prof.Benchmarks[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("benchjson: reading stdin: %v", err)
+	}
+	return prof
+}
+
+func load(path string) Profile {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("benchjson: %v", err)
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		fatalf("benchjson: parsing %s: %v", path, err)
+	}
+	return p
+}
+
+// runCompare prints a per-benchmark report and returns the process exit
+// code: 1 if any shared benchmark regressed beyond the threshold.
+func runCompare(basePath, newPath string, threshold float64) int {
+	base, fresh := load(basePath), load(newPath)
+	var names []string
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := 0
+	compared := 0
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		n, ok := fresh.Benchmarks[name]
+		if !ok {
+			fmt.Printf("WARN  %-70s missing from %s\n", name, newPath)
+			continue
+		}
+		compared++
+		ratio := n.NsPerOp / b.NsPerOp
+		status := "ok   "
+		if ratio > threshold {
+			status = "FAIL "
+			regressed++
+		}
+		fmt.Printf("%s %-70s %12.0f -> %12.0f ns/op  (%.2fx)\n", status, name, b.NsPerOp, n.NsPerOp, ratio)
+	}
+	for name := range fresh.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("NEW   %-70s %12.0f ns/op (not in baseline)\n", name, fresh.Benchmarks[name].NsPerOp)
+		}
+	}
+	if compared == 0 {
+		fmt.Println("FAIL  no shared benchmarks between the profiles")
+		return 1
+	}
+	if base.CPU != "" && fresh.CPU != "" && base.CPU != fresh.CPU {
+		fmt.Printf("NOTE  baseline CPU %q != current CPU %q: raw ns/op is not comparable across hardware.\n", base.CPU, fresh.CPU)
+		fmt.Println("NOTE  gate is ADVISORY on this run — commit the fresh profile as the baseline to arm it on this hardware.")
+		if regressed > 0 {
+			fmt.Printf("NOTE  %d of %d shared benchmarks exceeded %.2fx (not failing: hardware mismatch)\n", regressed, compared, threshold)
+		}
+		return 0
+	}
+	if regressed > 0 {
+		fmt.Printf("FAIL  %d of %d shared benchmarks regressed beyond %.2fx\n", regressed, compared, threshold)
+		return 1
+	}
+	fmt.Printf("ok    %d shared benchmarks within %.2fx of the baseline\n", compared, threshold)
+	return 0
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,168 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpcspanner/internal/graph"
+)
+
+func TestGeneratorDispatch(t *testing.T) {
+	cases := []struct {
+		gen string
+		n   int
+	}{
+		{"gnp", 200},
+		{"grid", 100}, // side 10
+		{"torus", 100},
+		{"pa", 150},
+		{"rgg", 120},
+		{"cycle", 80},
+	}
+	for _, c := range cases {
+		g, err := MakeGraph("", c.gen, c.n, 6, 10, 7, false)
+		if err != nil {
+			t.Fatalf("%s: %v", c.gen, err)
+		}
+		if g.N() == 0 || g.M() == 0 {
+			t.Fatalf("%s: degenerate graph n=%d m=%d", c.gen, g.N(), g.M())
+		}
+		// grid/torus round n down to side²; everything else keeps n.
+		if c.gen != "grid" && c.gen != "torus" && g.N() != c.n {
+			t.Fatalf("%s: n=%d, want %d", c.gen, g.N(), c.n)
+		}
+	}
+}
+
+func TestUnknownGeneratorErrors(t *testing.T) {
+	if _, err := MakeGraph("", "nope", 100, 4, 10, 1, false); err == nil {
+		t.Fatal("unknown generator accepted")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error should name the generator: %v", err)
+	}
+}
+
+func TestWeightFlagSelectsUnitVsUniform(t *testing.T) {
+	unit, err := MakeGraph("", "cycle", 50, 2, 1, 3, false) // maxW <= 1: unit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unit.IsUnit() {
+		t.Fatal("maxW=1 should produce unit weights")
+	}
+	weighted, err := MakeGraph("", "cycle", 50, 2, 9, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.IsUnit() {
+		t.Fatal("maxW=9 should produce non-unit weights")
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	a, err := MakeGraph("", "gnp", 200, 5, 10, 42, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MakeGraph("", "gnp", 200, 5, 10, 42, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatalf("equal seeds gave different graphs: m=%d vs %d", a.M(), b.M())
+	}
+	c, err := MakeGraph("", "gnp", 200, 5, 10, 43, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() == c.M() && a.TotalWeight() == c.TotalWeight() {
+		t.Fatal("different seeds produced an identical graph (suspicious)")
+	}
+}
+
+func TestConnectifyFlag(t *testing.T) {
+	// Two distant RGG clusters are almost surely disconnected at this radius;
+	// with connectify the output must be connected.
+	g, err := MakeGraph("", "gnp", 120, 0.5, 5, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("connectify did not connect the generated graph")
+	}
+	raw, err := MakeGraph("", "gnp", 120, 0.5, 5, 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Connected() {
+		t.Skip("generated graph happened to be connected; flag untestable at this seed")
+	}
+}
+
+func writeGraphFile(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadFromFile(t *testing.T) {
+	orig := graph.GNP(80, 0.1, graph.UniformWeight(1, 7), 5)
+	path := writeGraphFile(t, orig)
+	g, err := MakeGraph(path, "ignored", 0, 0, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != orig.N() || g.M() != orig.M() {
+		t.Fatalf("roundtrip mismatch: n=%d m=%d vs n=%d m=%d", g.N(), g.M(), orig.N(), orig.M())
+	}
+}
+
+func TestLoadFromFileConnectifyUsesFileScale(t *testing.T) {
+	// Disconnected two-component graph with heavy edges: the bridge must be
+	// at the file's weight scale (>= max edge weight), not the -maxw flag.
+	orig := graph.MustNew(4, []graph.Edge{
+		{U: 0, V: 1, W: 50},
+		{U: 2, V: 3, W: 40},
+	})
+	path := writeGraphFile(t, orig)
+	g, err := MakeGraph(path, "", 0, 0, 1, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("connectify did not bridge the file graph")
+	}
+	for _, e := range g.Edges()[orig.M():] {
+		if e.W < 50 {
+			t.Fatalf("bridge weight %v below the file's weight scale 50", e.W)
+		}
+	}
+}
+
+func TestLoadMissingFileErrors(t *testing.T) {
+	if _, err := MakeGraph(filepath.Join(t.TempDir(), "absent.txt"), "", 0, 0, 0, 0, false); err == nil {
+		t.Fatal("missing input file accepted")
+	}
+}
+
+func TestLoadMalformedFileErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte("this is not a graph\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MakeGraph(path, "", 0, 0, 0, 0, false); err == nil {
+		t.Fatal("malformed input file accepted")
+	}
+}

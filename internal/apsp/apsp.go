@@ -19,6 +19,7 @@ import (
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/mpc"
 	"mpcspanner/internal/oracle"
+	"mpcspanner/internal/par"
 	"mpcspanner/internal/spanner"
 )
 
@@ -36,6 +37,12 @@ type Options struct {
 	// Gamma is the memory exponent of the machines used to *build* the
 	// spanner (they stay in the strongly sublinear regime). Zero means 1/2.
 	Gamma float64
+
+	// Workers sizes the real goroutine pool behind the simulated build and
+	// the serving-side oracle (par conventions: 0 = GOMAXPROCS, 1 = serial).
+	// Results are bit-identical at every worker count; negative values are
+	// rejected with a descriptive error.
+	Workers int
 }
 
 // Result is a completed Corollary 1.4 run.
@@ -55,6 +62,7 @@ type Result struct {
 
 	g       *graph.Graph
 	spanner *graph.Graph
+	workers int // serving-side pool size (par conventions)
 
 	oracleOnce sync.Once
 	oracle     *oracle.Oracle
@@ -82,13 +90,16 @@ func Approx(g *graph.Graph, opt Options) (*Result, error) {
 	if g.N() < 2 {
 		return nil, fmt.Errorf("apsp: need at least two vertices, got %d", g.N())
 	}
+	if err := par.CheckWorkers("apsp: Options.Workers", opt.Workers); err != nil {
+		return nil, err
+	}
 	gamma := opt.Gamma
 	if gamma == 0 {
 		gamma = 0.5
 	}
 	k, t := Params(g.N(), opt.T)
 
-	build, err := mpc.BuildSpanner(g, k, t, gamma, opt.Seed)
+	build, err := mpc.BuildSpannerOpts(g, k, t, opt.Seed, mpc.Options{Gamma: gamma, Workers: opt.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +130,7 @@ func Approx(g *graph.Graph, opt Options) (*Result, error) {
 		MemoryPerBuilder: build.MemoryPerMachine,
 		g:                g,
 		spanner:          g.Subgraph(build.EdgeIDs),
+		workers:          opt.Workers,
 	}
 	if !res.FitsOneMachine {
 		return res, fmt.Errorf("apsp: spanner of %d edges exceeds the near-linear machine's %d words",
@@ -151,7 +163,7 @@ func (r *Result) Oracle() *oracle.Oracle {
 		if rows > 1024 {
 			rows = 1024
 		}
-		r.oracle = oracle.New(r.spanner, oracle.Options{MaxRows: rows})
+		r.oracle = oracle.New(r.spanner, oracle.Options{MaxRows: rows, Workers: r.workers})
 	})
 	return r.oracle
 }

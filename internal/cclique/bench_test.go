@@ -1,0 +1,57 @@
+package cclique
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mpcspanner/internal/graph"
+)
+
+// benchWorkerCounts sweeps serial vs the GOMAXPROCS default.
+func benchWorkerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	if max == 1 {
+		return []int{1}
+	}
+	return []int{1, max}
+}
+
+// BenchmarkCliqueSpanner pins the Theorem 8.1 construction (the WHP
+// selection plans every iteration under ~log n coin sets, so the parallel
+// grow loop dominates the wall-clock).
+func BenchmarkCliqueSpanner(b *testing.B) {
+	g := graph.GNP(4_000, 10/4_000.0, graph.UniformWeight(1, 50), 7)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("n=4k/k=8/t=2/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildSpannerOpts(g, 8, 2, 7, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLenzenRouting pins the per-node message budget validation on a
+// full-rate all-to-all instance.
+func BenchmarkLenzenRouting(b *testing.B) {
+	const n = 512
+	msgs := make([]Message, 0, n*n)
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			msgs = append(msgs, Message{From: int32(from), To: int32(to)})
+		}
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("n=512/workers=%d", w), func(b *testing.B) {
+			c, _ := New(n)
+			c.SetWorkers(w)
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Lenzen(msgs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

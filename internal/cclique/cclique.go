@@ -15,6 +15,8 @@ package cclique
 import (
 	"fmt"
 	"math"
+
+	"mpcspanner/internal/par"
 )
 
 // Clique is the simulated n-node congested clique with round accounting and
@@ -22,6 +24,11 @@ import (
 type Clique struct {
 	n      int
 	rounds int
+
+	// workers backs the per-node message generation and budget validation
+	// with a real goroutine pool (par conventions, resolved; default 1).
+	// Round accounting and routing results are identical at every count.
+	workers int
 
 	routes    int
 	wordsSent int64
@@ -32,8 +39,12 @@ func New(n int) (*Clique, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cclique: need at least one node, got %d", n)
 	}
-	return &Clique{n: n}, nil
+	return &Clique{n: n, workers: 1}, nil
 }
+
+// SetWorkers sizes the goroutine pool the simulated nodes' local work runs
+// on (0 selects GOMAXPROCS, 1 forces serial).
+func (c *Clique) SetWorkers(w int) { c.workers = par.Workers(w) }
 
 // N returns the node count.
 func (c *Clique) N() int { return c.n }
@@ -62,15 +73,64 @@ type Message struct {
 // most n and receives at most n words, in exactly 2 rounds [Len13]. It
 // validates both budgets and returns the messages grouped by destination (in
 // stable per-destination order).
+//
+// Budget counting is the per-node message generation work: it shards the
+// message list over the worker pool with per-shard send/receive histograms
+// that sum in shard order, so validation outcomes are identical at every
+// worker count. Destination grouping stays serial to preserve the stable
+// per-destination order.
 func (c *Clique) Lenzen(msgs []Message) ([][]Message, error) {
+	// Shard the counting only when the instance is dense enough to amortize
+	// the per-shard histograms and their O(workers·n) merge; below that the
+	// serial O(msgs + n) scan is strictly cheaper.
+	workers := c.workers
+	if len(msgs) < workers*c.n {
+		workers = 1
+	}
 	sent := make([]int, c.n)
 	recv := make([]int, c.n)
-	for _, m := range msgs {
-		if m.From < 0 || int(m.From) >= c.n || m.To < 0 || int(m.To) >= c.n {
-			return nil, fmt.Errorf("cclique: message endpoint out of range: %+v", m)
+	if workers <= 1 {
+		for i, m := range msgs {
+			if m.From < 0 || int(m.From) >= c.n || m.To < 0 || int(m.To) >= c.n {
+				return nil, fmt.Errorf("cclique: message endpoint out of range: %+v", msgs[i])
+			}
+			sent[m.From]++
+			recv[m.To]++
 		}
-		sent[m.From]++
-		recv[m.To]++
+	} else {
+		type budget struct {
+			sent, recv []int
+			bad        int // index+1 of an out-of-range message, 0 if none
+		}
+		parts := make([]budget, workers)
+		par.ForShard(workers, len(msgs), func(shard, lo, hi int) {
+			b := &parts[shard]
+			b.sent = make([]int, c.n)
+			b.recv = make([]int, c.n)
+			for i := lo; i < hi; i++ {
+				m := msgs[i]
+				if m.From < 0 || int(m.From) >= c.n || m.To < 0 || int(m.To) >= c.n {
+					if b.bad == 0 {
+						b.bad = i + 1
+					}
+					continue
+				}
+				b.sent[m.From]++
+				b.recv[m.To]++
+			}
+		})
+		for i := range parts {
+			if parts[i].bad > 0 {
+				return nil, fmt.Errorf("cclique: message endpoint out of range: %+v", msgs[parts[i].bad-1])
+			}
+			if parts[i].sent == nil {
+				continue
+			}
+			for v := 0; v < c.n; v++ {
+				sent[v] += parts[i].sent[v]
+				recv[v] += parts[i].recv[v]
+			}
+		}
 	}
 	for v := 0; v < c.n; v++ {
 		if sent[v] > c.n {

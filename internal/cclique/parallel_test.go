@@ -1,0 +1,113 @@
+package cclique
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mpcspanner/internal/graph"
+)
+
+func pinWorkers() int {
+	w := runtime.NumCPU()
+	if w < 4 {
+		w = 4
+	}
+	return w
+}
+
+// TestWorkerCountInvarianceClique pins the Theorem 8.1 path: spanner edges,
+// clique round bill, engine stats and the WHP selection trace are
+// bit-identical between serial and multi-worker runs.
+func TestWorkerCountInvarianceClique(t *testing.T) {
+	g := graph.GNP(220, 0.06, graph.UniformWeight(1, 25), 3)
+	serial, err := BuildSpannerOpts(g, 6, 2, 17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := BuildSpannerOpts(g, 6, 2, 17, pinWorkers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("clique results differ between worker counts:\n  1: %+v\n  N: %+v",
+			serial.Stats, parallel.Stats)
+	}
+}
+
+// TestWorkerCountInvarianceAPSP pins the Corollary 1.5 pipeline including
+// the measured stretch report.
+func TestWorkerCountInvarianceAPSP(t *testing.T) {
+	g := graph.Connectify(graph.GNP(150, 0.05, graph.UnitWeight, 5), 1)
+	serial, err := ApproxAPSPOpts(g, 19, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ApproxAPSPOpts(g, 19, pinWorkers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.SpannerEdgeIDs, parallel.SpannerEdgeIDs) ||
+		serial.Rounds != parallel.Rounds {
+		t.Fatal("APSP runs differ between worker counts")
+	}
+	repS, err := serial.MeasureApproximation(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repP, err := parallel.MeasureApproximation(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(repS, repP) {
+		t.Fatal("stretch reports differ between worker counts")
+	}
+}
+
+func TestNegativeWorkersRejectedClique(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeight, 1)
+	if _, err := BuildSpannerOpts(g, 2, 1, 1, -1); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}
+
+// TestLenzenParallelBudgets pins the sharded per-node budget counting
+// against the serial path on a full-rate instance.
+func TestLenzenParallelBudgets(t *testing.T) {
+	const n = 64
+	mk := func() []Message {
+		var msgs []Message
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				msgs = append(msgs, Message{From: int32(from), To: int32(to), Payload: uint64(from*n + to)})
+			}
+		}
+		return msgs
+	}
+	serialC, _ := New(n)
+	serialC.SetWorkers(1)
+	serialOut, err := serialC.Lenzen(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parC, _ := New(n)
+	parC.SetWorkers(pinWorkers())
+	parOut, err := parC.Lenzen(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialOut, parOut) {
+		t.Fatal("routed outputs differ between worker counts")
+	}
+	if serialC.Rounds() != parC.Rounds() || serialC.WordsSent() != parC.WordsSent() {
+		t.Fatal("accounting differs between worker counts")
+	}
+	// Overflow still rejected under the parallel counter.
+	over := mk()
+	for i := 0; i < n+1; i++ {
+		over = append(over, Message{From: 0, To: 1})
+	}
+	if _, err := parC.Lenzen(over); err == nil {
+		t.Fatal("budget violation accepted by parallel counter")
+	}
+}

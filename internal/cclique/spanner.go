@@ -5,6 +5,7 @@ import (
 
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/par"
 	"mpcspanner/internal/spanner"
 )
 
@@ -33,16 +34,29 @@ type SpannerResult struct {
 // BuildSpanner runs Theorem 8.1: the general algorithm in the semi-MPC view
 // of the clique, with ⌈log₂ n⌉+1 parallel sampling runs per iteration and
 // the two-event run selection, so the O(n^{1+1/k}(t+log k)) size bound holds
-// w.h.p. at only O(1) extra rounds per iteration.
+// w.h.p. at only O(1) extra rounds per iteration. The per-node work runs on
+// a GOMAXPROCS worker pool; use BuildSpannerOpts to pin the pool size.
 func BuildSpanner(g *graph.Graph, k, t int, seed uint64) (*SpannerResult, error) {
+	return BuildSpannerOpts(g, k, t, seed, 0)
+}
+
+// BuildSpannerOpts is BuildSpanner with an explicit worker pool size
+// (par conventions: 0 = GOMAXPROCS, 1 = serial; negatives are rejected).
+// The spanner, round bill and WHP selection are bit-identical at every
+// worker count.
+func BuildSpannerOpts(g *graph.Graph, k, t int, seed uint64, workers int) (*SpannerResult, error) {
 	if g.N() < 1 {
 		return nil, fmt.Errorf("cclique: empty graph")
+	}
+	if err := par.CheckWorkers("cclique: workers", workers); err != nil {
+		return nil, err
 	}
 	c, err := New(g.N())
 	if err != nil {
 		return nil, err
 	}
-	res, whp, err := spanner.GeneralWHP(g, k, t, 0, spanner.Options{Seed: seed})
+	c.SetWorkers(workers)
+	res, whp, err := spanner.GeneralWHP(g, k, t, 0, spanner.Options{Seed: seed, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -84,10 +98,16 @@ type APSPResult struct {
 
 // ApproxAPSP runs Corollary 1.5 end to end: BuildSpanner with k = ⌈log₂ n⌉,
 // t = ⌈log₂ log₂ n⌉, then a Lenzen-routed broadcast of the (near-linear)
-// spanner so that every node can answer distance queries locally.
+// spanner so that every node can answer distance queries locally. Use
+// ApproxAPSPOpts to pin the worker pool.
 func ApproxAPSP(g *graph.Graph, seed uint64) (*APSPResult, error) {
+	return ApproxAPSPOpts(g, seed, 0)
+}
+
+// ApproxAPSPOpts is ApproxAPSP with an explicit worker pool size.
+func ApproxAPSPOpts(g *graph.Graph, seed uint64, workers int) (*APSPResult, error) {
 	k, t := APSPParams(g.N())
-	sp, err := BuildSpanner(g, k, t, seed)
+	sp, err := BuildSpannerOpts(g, k, t, seed, workers)
 	if err != nil {
 		return nil, err
 	}

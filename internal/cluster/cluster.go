@@ -8,9 +8,9 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/par"
 )
 
 // None marks a vertex or supernode that is not assigned (finished).
@@ -48,17 +48,24 @@ func (p *Partition) N() int { return len(p.super) }
 // the number of distinct new supernode ids, which must be exactly the set
 // {0, …, newCount-1} across the non-None entries.
 func (p *Partition) Contract(newID []int32, newCount int) error {
+	return p.ContractWorkers(newID, newCount, 1)
+}
+
+// ContractWorkers is Contract with the per-vertex relabeling pass fanned out
+// over a worker pool (each vertex writes only its own slot, so the result is
+// identical at every worker count). workers follows the par conventions:
+// 0 selects GOMAXPROCS, 1 runs serially.
+func (p *Partition) ContractWorkers(newID []int32, newCount, workers int) error {
 	for s, id := range newID {
 		if id != None && (id < 0 || int(id) >= newCount) {
 			return fmt.Errorf("cluster: supernode %d relabeled to out-of-range %d (count %d)", s, id, newCount)
 		}
 	}
-	for v, s := range p.super {
-		if s == None {
-			continue
+	par.For(par.Workers(workers), len(p.super), func(v int) {
+		if s := p.super[v]; s != None {
+			p.super[v] = newID[s]
 		}
-		p.super[v] = newID[s]
-	}
+	})
 	p.count = newCount
 	return nil
 }
@@ -97,18 +104,27 @@ func FromGraph(g *graph.Graph) []QEdge {
 // parallels are spanned through the kept representative. Input order is not
 // preserved; the result is sorted by (min endpoint, max endpoint).
 func MinDedup(edges []QEdge) []QEdge {
+	return MinDedupWorkers(edges, 1)
+}
+
+// MinDedupWorkers is MinDedup with the endpoint normalization and the sort
+// run on a worker pool (par.SortStable). The comparison key
+// (A, B, W, Orig) is a total order on any edge list with distinct Orig ids,
+// so the output is bit-identical at every worker count.
+func MinDedupWorkers(edges []QEdge, workers int) []QEdge {
 	if len(edges) == 0 {
 		return edges
 	}
+	w := par.Workers(workers)
 	norm := make([]QEdge, len(edges))
-	for i, e := range edges {
+	par.For(w, len(edges), func(i int) {
+		e := edges[i]
 		if e.A > e.B {
 			e.A, e.B = e.B, e.A
 		}
 		norm[i] = e
-	}
-	sort.Slice(norm, func(i, j int) bool {
-		a, b := norm[i], norm[j]
+	})
+	par.SortStable(w, norm, func(a, b *QEdge) bool {
 		if a.A != b.A {
 			return a.A < b.A
 		}

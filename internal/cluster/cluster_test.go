@@ -184,3 +184,71 @@ func TestMeasureTreesMultipleRoots(t *testing.T) {
 		t.Fatalf("empty forest stats %+v", st)
 	}
 }
+
+func TestMinDedupWorkersMatchesSerial(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := xrand.New(seed)
+		n := src.Intn(4000) + 10
+		edges := make([]QEdge, n)
+		for i := range edges {
+			edges[i] = QEdge{
+				A:    src.Intn(40),
+				B:    src.Intn(40),
+				W:    float64(src.Intn(5)),
+				Orig: i,
+			}
+		}
+		serial := MinDedup(append([]QEdge(nil), edges...))
+		for _, w := range []int{2, 4, 8} {
+			par := MinDedupWorkers(append([]QEdge(nil), edges...), w)
+			if len(par) != len(serial) {
+				return false
+			}
+			for i := range par {
+				if par[i] != serial[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContractWorkersMatchesSerial(t *testing.T) {
+	const n = 3000
+	mk := func() *Partition { return NewPartition(n) }
+	relabel := make([]int32, n)
+	for i := range relabel {
+		switch i % 3 {
+		case 0:
+			relabel[i] = int32(i % 100)
+		case 1:
+			relabel[i] = int32((i + 7) % 100)
+		default:
+			relabel[i] = None
+		}
+	}
+	serial, parallel := mk(), mk()
+	if err := serial.ContractWorkers(relabel, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.ContractWorkers(relabel, 100, 8); err != nil {
+		t.Fatal(err)
+	}
+	if serial.Count() != parallel.Count() {
+		t.Fatal("counts differ")
+	}
+	for v := 0; v < n; v++ {
+		if serial.Super(v) != parallel.Super(v) {
+			t.Fatalf("Super(%d) differs: %d vs %d", v, serial.Super(v), parallel.Super(v))
+		}
+	}
+	// Validation still rejects out-of-range labels in parallel mode.
+	bad := mk()
+	if err := bad.ContractWorkers([]int32{int32(n)}, 1, 8); err == nil {
+		t.Fatal("out-of-range relabel accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package mpc
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mpcspanner/internal/graph"
+)
+
+// BenchmarkMPCBuild pins the simulated distributed construction at n≈20k,
+// serial vs parallel: the sample sorts and the per-machine local passes are
+// the wall-clock, and both fan out over the worker pool.
+func BenchmarkMPCBuild(b *testing.B) {
+	g := graph.GNP(20_000, 12/20_000.0, graph.UniformWeight(1, 100), 7)
+	counts := []int{1}
+	if max := runtime.GOMAXPROCS(0); max > 1 {
+		counts = append(counts, max)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("n=20k/k=16/t=4/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := BuildSpannerOpts(g, 16, 4, 7, Options{Gamma: 0.5, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Rounds), "mpc-rounds")
+			}
+		})
+	}
+}

@@ -4,14 +4,29 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/par"
 	"mpcspanner/internal/spanner"
 	"mpcspanner/internal/xrand"
 )
 
 // none marks a dead label.
 const none = int32(-1)
+
+// Options configures a distributed spanner build beyond its algorithm
+// parameters.
+type Options struct {
+	// Gamma is the memory exponent of the simulated machines, γ ∈ (0, 1].
+	Gamma float64
+
+	// Workers sizes the real goroutine pool that executes the simulated
+	// machines' local passes (par conventions: 0 = GOMAXPROCS, 1 = serial).
+	// Rounds, memory accounting and the constructed spanner are
+	// bit-identical at every worker count; negative values are rejected.
+	Workers int
+}
 
 // Result reports a distributed spanner construction: the spanner itself plus
 // the simulated-cluster cost profile that Theorem 1.1 bounds.
@@ -28,6 +43,7 @@ type Result struct {
 	Sorts            int   // global sorts executed
 	TreeOps          int   // aggregation-tree operations executed
 	TuplesMoved      int64 // total communication volume in tuples
+	Workers          int   // resolved goroutine pool size of the run
 }
 
 // BuildSpanner executes the general algorithm (Section 5) on the simulated
@@ -43,13 +59,24 @@ type Result struct {
 // returned spanner is bit-identical to spanner.General's — the test suite
 // asserts this cross-plane equality.
 func BuildSpanner(g *graph.Graph, k, t int, gamma float64, seed uint64) (*Result, error) {
+	return BuildSpannerOpts(g, k, t, seed, Options{Gamma: gamma})
+}
+
+// BuildSpannerOpts is BuildSpanner with the full option surface: each
+// simulated machine's local pass runs as a real goroutine of a pool of
+// opt.Workers, without touching the model-level accounting.
+func BuildSpannerOpts(g *graph.Graph, k, t int, seed uint64, opt Options) (*Result, error) {
 	if k < 1 || t < 1 {
 		return nil, fmt.Errorf("mpc: parameters must satisfy k >= 1 and t >= 1 (got k=%d t=%d)", k, t)
 	}
-	sim, err := NewSim(g.N(), 2*g.M(), gamma)
+	if err := par.CheckWorkers("mpc: Options.Workers", opt.Workers); err != nil {
+		return nil, err
+	}
+	sim, err := NewSim(g.N(), 2*g.M(), opt.Gamma)
 	if err != nil {
 		return nil, err
 	}
+	sim.SetWorkers(opt.Workers)
 
 	// Input: two directed copies of every edge; supernode and cluster
 	// labels start as the vertex itself.
@@ -65,7 +92,7 @@ func BuildSpanner(g *graph.Graph, k, t int, gamma float64, seed uint64) (*Result
 		return nil, err
 	}
 
-	res := &Result{Machines: sim.Machines(), MemoryPerMachine: sim.MemoryPerMachine()}
+	res := &Result{Machines: sim.Machines(), MemoryPerMachine: sim.MemoryPerMachine(), Workers: sim.Workers()}
 	inSpanner := make(map[int32]struct{})
 	n := float64(g.N())
 
@@ -112,6 +139,26 @@ func BuildSpanner(g *graph.Graph, k, t int, gamma float64, seed uint64) (*Result
 // pairKey identifies a (supernode, neighbor-cluster) group.
 type pairKey struct{ v, c int32 }
 
+// joinRec records a supernode's chosen sampled cluster.
+type joinRec struct {
+	center int32
+	orig   int32
+}
+
+// srcJoin is a join decision keyed by its supernode label.
+type srcJoin struct {
+	v   int32
+	rec joinRec
+}
+
+// decisionPart is one shard's share of an iteration's per-supernode
+// decisions; parts concatenate in shard order (= segment order).
+type decisionPart struct {
+	adds    []int32
+	joins   []srcJoin
+	removes []pairKey
+}
+
 // iterateDistributed is one grow iteration (Steps B1–B6) in tuple form.
 func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, inSpanner map[int32]struct{}) error {
 	// B1 — sampling. The coin for a cluster is a pure function of its
@@ -137,28 +184,55 @@ func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, inSpanner
 		return err
 	}
 
-	// B3/B4 — segmented minima and per-supernode decisions. The scan below
-	// is the work of the group leaders; crossing machine boundaries costs
-	// one Find-Minimum tree and one decision-gather tree.
+	// B3/B4 — segmented minima and per-supernode decisions. Every Src
+	// segment is independent, so segments fan out over the worker pool —
+	// exactly the per-machine group-leader work of Section 6; crossing
+	// machine boundaries costs one Find-Minimum tree and one
+	// decision-gather tree, charged below as before. Per-shard decision
+	// lists concatenate in shard order, which equals segment order, so the
+	// merged decisions are identical at every worker count.
+	starts := sim.SegmentStarts(func(a, b *Tuple) bool { return a.Src == b.Src })
+	data := sim.Data()
+	workers := sim.Workers()
+	parts := make([]decisionPart, workers)
+	// badTuple[shard] records the first dead-labeled tuple a shard saw
+	// (index+1 into data), so the fail-fast error can name the tuple; the
+	// lowest shard's find is reported, matching the serial scan order.
+	badTuple := make([]int, workers)
 	type groupMin struct {
 		c    int32
 		w    float64
 		orig int32
 	}
-	type joinRec struct {
-		center int32
-		orig   int32
-	}
-	removePairs := make(map[pairKey]struct{})
-	joins := make(map[int32]joinRec)
-
-	var cur int32 = -1 // current Src being assembled
-	var curProcessed bool
-	var groups []groupMin
-
-	flush := func() {
-		if cur < 0 || !curProcessed || len(groups) == 0 {
-			groups = groups[:0]
+	groupsByShard := make([][]groupMin, workers) // reused across each shard's segments
+	sim.ForSegments(starts, func(shard, si, lo, hi int) {
+		if badTuple[shard] != 0 {
+			return // shard already failing fast
+		}
+		seg := data[lo:hi]
+		// Every tuple must carry live labels, sampled segment or not — the
+		// same invariant the serial scan enforced.
+		for gi := range seg {
+			if seg[gi].CSrc == none || seg[gi].CDst == none {
+				badTuple[shard] = lo + gi + 1
+				return
+			}
+		}
+		cur := seg[0].Src
+		if sampled(seg[0].CSrc) {
+			return // supernodes inside sampled clusters do nothing
+		}
+		// Group minima: the first tuple of each (Src, CDst) run is the
+		// group minimum under the B2 sort order.
+		groups := groupsByShard[shard][:0]
+		for gi := range seg {
+			t := &seg[gi]
+			if len(groups) == 0 || groups[len(groups)-1].c != t.CDst {
+				groups = append(groups, groupMin{c: t.CDst, w: t.W, orig: t.Orig})
+			}
+		}
+		groupsByShard[shard] = groups
+		if len(groups) == 0 {
 			return
 		}
 		// Closest sampled neighbor cluster by (weight, center label).
@@ -172,52 +246,43 @@ func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, inSpanner
 				best = i
 			}
 		}
+		part := &parts[shard]
 		if best >= 0 {
 			joinW := groups[best].w
-			inSpanner[groups[best].orig] = struct{}{}
-			joins[cur] = joinRec{center: groups[best].c, orig: groups[best].orig}
-			removePairs[pairKey{cur, groups[best].c}] = struct{}{}
+			part.adds = append(part.adds, groups[best].orig)
+			part.joins = append(part.joins, srcJoin{v: cur, rec: joinRec{center: groups[best].c, orig: groups[best].orig}})
+			part.removes = append(part.removes, pairKey{cur, groups[best].c})
 			for i, gm := range groups {
 				if i == best || gm.w >= joinW {
 					continue
 				}
-				inSpanner[gm.orig] = struct{}{}
-				removePairs[pairKey{cur, gm.c}] = struct{}{}
+				part.adds = append(part.adds, gm.orig)
+				part.removes = append(part.removes, pairKey{cur, gm.c})
 			}
 		} else {
 			for _, gm := range groups {
-				inSpanner[gm.orig] = struct{}{}
-				removePairs[pairKey{cur, gm.c}] = struct{}{}
+				part.adds = append(part.adds, gm.orig)
+				part.removes = append(part.removes, pairKey{cur, gm.c})
 			}
-		}
-		groups = groups[:0]
-	}
-
-	var scanErr error
-	sim.Scan(func(t *Tuple) {
-		if t.CSrc == none || t.CDst == none {
-			scanErr = fmt.Errorf("mpc: tuple with dead label survived: %+v", *t)
-			return
-		}
-		if t.Src != cur {
-			flush()
-			cur = t.Src
-			curProcessed = !sampled(t.CSrc)
-			if !curProcessed {
-				return
-			}
-		}
-		if !curProcessed {
-			return
-		}
-		if len(groups) == 0 || groups[len(groups)-1].c != t.CDst {
-			// First tuple of the (Src, CDst) group is the minimum.
-			groups = append(groups, groupMin{c: t.CDst, w: t.W, orig: t.Orig})
 		}
 	})
-	flush()
-	if scanErr != nil {
-		return scanErr
+	for _, bad := range badTuple {
+		if bad > 0 {
+			return fmt.Errorf("mpc: tuple with dead label survived: %+v", data[bad-1])
+		}
+	}
+	removePairs := make(map[pairKey]struct{})
+	joins := make(map[int32]joinRec)
+	for i := range parts {
+		for _, orig := range parts[i].adds {
+			inSpanner[orig] = struct{}{}
+		}
+		for _, j := range parts[i].joins {
+			joins[j.v] = j.rec
+		}
+		for _, r := range parts[i].removes {
+			removePairs[r] = struct{}{}
+		}
 	}
 	sim.ChargeTree(2) // segmented minima + decision gathering
 
@@ -263,15 +328,19 @@ func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, inSpanner
 	})
 
 	// B6 — intra-cluster edges vanish; dead labels must not survive.
-	var b6Err error
+	var lostCluster atomic.Int64
 	sim.Filter(func(t *Tuple) bool {
 		if t.CSrc == none || t.CDst == none {
-			b6Err = fmt.Errorf("mpc: live tuple lost its cluster: %+v", *t)
+			lostCluster.Add(1)
 			return false
 		}
 		return t.CSrc != t.CDst
 	})
-	return b6Err
+	if lostCluster.Load() > 0 {
+		return fmt.Errorf("mpc: %d live tuples lost their cluster in iteration (%d, %d)",
+			lostCluster.Load(), epoch, iter)
+	}
+	return nil
 }
 
 // contractDistributed is Step C: supernode labels become the cluster labels
@@ -285,7 +354,10 @@ func contractDistributed(sim *Sim) error {
 }
 
 // dedupPairs sorts by unordered pair and keeps only the two directed copies
-// of the minimum-weight edge per pair (one Sort + one boundary tree).
+// of the minimum-weight edge per pair (one Sort + one boundary tree). The
+// keep decision is a segmented aggregate: within each pair segment the
+// minimum is the first tuple, and a tuple survives iff it carries the
+// minimum's original edge id — evaluated per segment on the worker pool.
 func dedupPairs(sim *Sim) error {
 	lo := func(t *Tuple) (int32, int32) {
 		if t.Src < t.Dst {
@@ -310,16 +382,20 @@ func dedupPairs(sim *Sim) error {
 		return err
 	}
 	sim.ChargeTree(1)
-	var prevL, prevH int32 = -1, -1
-	var prevOrig int32 = -1
-	sim.Filter(func(t *Tuple) bool {
-		l, h := lo(t)
-		if l == prevL && h == prevH {
-			return t.Orig == prevOrig // keep only the min edge's mirror copy
-		}
-		prevL, prevH, prevOrig = l, h, t.Orig
-		return true
+	starts := sim.SegmentStarts(func(a, b *Tuple) bool {
+		la, ha := lo(a)
+		lb, hb := lo(b)
+		return la == lb && ha == hb
 	})
+	data := sim.Data()
+	mask := make([]bool, len(data))
+	sim.ForSegments(starts, func(_, _, lo, hi int) {
+		minOrig := data[lo].Orig
+		for i := lo; i < hi; i++ {
+			mask[i] = data[i].Orig == minOrig
+		}
+	})
+	sim.Keep(mask)
 	return nil
 }
 

@@ -1,0 +1,185 @@
+package mpc
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/spanner"
+)
+
+func pinWorkers() int {
+	w := runtime.NumCPU()
+	if w < 4 {
+		w = 4
+	}
+	return w
+}
+
+// TestWorkerCountInvarianceMPC pins the tentpole contract on the simulated
+// cluster: the spanner, round count, sort/tree-op counts and memory profile
+// are bit-identical between a serial run and a multi-worker run.
+func TestWorkerCountInvarianceMPC(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"gnp":  graph.GNP(250, 0.05, graph.UniformWeight(1, 50), 1),
+		"grid": graph.Grid(15, 15, graph.UniformWeight(1, 5), 2),
+		"pa":   graph.PreferentialAttachment(200, 4, graph.UnitWeight, 3),
+	}
+	for name, g := range graphs {
+		for _, c := range []struct{ k, t int }{{4, 1}, {8, 2}} {
+			serial, err := BuildSpannerOpts(g, c.k, c.t, 99, Options{Gamma: 0.5, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s serial: %v", name, err)
+			}
+			parallel, err := BuildSpannerOpts(g, c.k, c.t, 99, Options{Gamma: 0.5, Workers: pinWorkers()})
+			if err != nil {
+				t.Fatalf("%s parallel: %v", name, err)
+			}
+			// Workers is the only field allowed to differ.
+			serial.Workers, parallel.Workers = 0, 0
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("%s k=%d t=%d: MPC results differ between worker counts:\n  1: %+v\n  N: %+v",
+					name, c.k, c.t, serial, parallel)
+			}
+		}
+	}
+}
+
+// TestParallelRunStillCrossPlane re-asserts the cross-plane bit-identity
+// with the reference engine when both sides run multi-worker.
+func TestParallelRunStillCrossPlane(t *testing.T) {
+	g := graph.GNP(220, 0.06, graph.UniformWeight(1, 30), 5)
+	w := pinWorkers()
+	ref, err := spanner.General(g, 8, 2, spanner.Options{Seed: 31, Workers: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BuildSpannerOpts(g, 8, 2, 31, Options{Gamma: 0.4, Workers: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.EdgeIDs, ref.EdgeIDs) {
+		t.Fatal("multi-worker planes diverged")
+	}
+}
+
+func TestNegativeWorkersRejectedMPC(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeight, 1)
+	if _, err := BuildSpannerOpts(g, 2, 1, 1, Options{Gamma: 0.5, Workers: -1}); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+}
+
+// TestSimParallelPrimitives pins the Sim primitives themselves: a parallel
+// Sort/Filter/Update sequence leaves the same tuples and the same round
+// bill as a serial one.
+func TestSimParallelPrimitives(t *testing.T) {
+	mk := func(workers int) *Sim {
+		s, err := NewSim(400, 2000, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetWorkers(workers)
+		ts := make([]Tuple, 2000)
+		for i := range ts {
+			ts[i] = Tuple{
+				Src:  int32(i % 37),
+				Dst:  int32(i % 11),
+				W:    float64(i % 5),
+				Orig: int32(i),
+			}
+		}
+		if err := s.Load(ts); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	run := func(s *Sim) ([]Tuple, int, int) {
+		if err := s.Sort(func(a, b *Tuple) bool {
+			if a.Src != b.Src {
+				return a.Src < b.Src
+			}
+			if a.W != b.W {
+				return a.W < b.W
+			}
+			return a.Orig < b.Orig
+		}); err != nil {
+			t.Fatal(err)
+		}
+		s.Update(func(t *Tuple) { t.Dst += t.Src })
+		s.Filter(func(t *Tuple) bool { return t.Orig%3 != 0 })
+		out := append([]Tuple(nil), s.Data()...)
+		return out, s.Rounds(), s.Len()
+	}
+	serialTuples, serialRounds, serialLen := run(mk(1))
+	parTuples, parRounds, parLen := run(mk(pinWorkers()))
+	if serialRounds != parRounds || serialLen != parLen {
+		t.Fatalf("accounting differs: rounds %d vs %d, len %d vs %d",
+			serialRounds, parRounds, serialLen, parLen)
+	}
+	if !reflect.DeepEqual(serialTuples, parTuples) {
+		t.Fatal("tuple contents differ between worker counts")
+	}
+}
+
+func TestSegmentStarts(t *testing.T) {
+	s, err := NewSim(100, 50, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetWorkers(pinWorkers())
+	keys := []int32{3, 3, 3, 5, 7, 7, 9}
+	ts := make([]Tuple, len(keys))
+	for i, k := range keys {
+		ts[i] = Tuple{Src: k}
+	}
+	if err := s.Load(ts); err != nil {
+		t.Fatal(err)
+	}
+	got := s.SegmentStarts(func(a, b *Tuple) bool { return a.Src == b.Src })
+	want := []int{0, 3, 4, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("segment starts %v, want %v", got, want)
+	}
+	// Empty cluster: no segments.
+	if err := s.Load(nil); err != nil {
+		t.Fatal(err)
+	}
+	if starts := s.SegmentStarts(func(a, b *Tuple) bool { return true }); starts != nil {
+		t.Fatalf("empty data produced segments %v", starts)
+	}
+}
+
+func TestKeepMaskCompacts(t *testing.T) {
+	s, err := NewSim(100, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := make([]Tuple, 10)
+	for i := range ts {
+		ts[i] = Tuple{Orig: int32(i)}
+	}
+	if err := s.Load(ts); err != nil {
+		t.Fatal(err)
+	}
+	mask := make([]bool, 10)
+	for i := range mask {
+		mask[i] = i%2 == 0
+	}
+	s.Keep(mask)
+	if s.Len() != 5 {
+		t.Fatalf("kept %d tuples, want 5", s.Len())
+	}
+	s.Scan(func(t0 *Tuple) {
+		if t0.Orig%2 != 0 {
+			t.Fatalf("tuple %d survived a false mask", t0.Orig)
+		}
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched mask accepted")
+		}
+	}()
+	s.Keep(make([]bool, 3))
+}

@@ -25,7 +25,8 @@ package mpc
 import (
 	"fmt"
 	"math"
-	"sort"
+
+	"mpcspanner/internal/par"
 )
 
 // Tuple is one directed copy of a quotient-graph edge, the record format of
@@ -47,7 +48,15 @@ type Sim struct {
 	s int // memory per machine, in tuples
 	p int // number of machines
 
-	data []Tuple
+	// workers is the real goroutine pool backing the simulated machines'
+	// local passes (par conventions, resolved; default 1). It changes only
+	// wall-clock time: rounds, memory accounting and tuple contents are
+	// bit-identical at every worker count.
+	workers int
+
+	data    []Tuple
+	mask    []bool  // scratch for Filter/Keep compaction
+	sortBuf []Tuple // retained merge scratch for the per-round sorts
 
 	rounds     int
 	sorts      int
@@ -74,8 +83,16 @@ func NewSim(n, totalTuples int, gamma float64) (*Sim, error) {
 	if p < 1 {
 		p = 1
 	}
-	return &Sim{s: s, p: p}, nil
+	return &Sim{s: s, p: p, workers: 1}, nil
 }
+
+// SetWorkers sizes the goroutine pool that executes the simulated machines'
+// local passes (0 selects GOMAXPROCS, 1 forces serial execution). The
+// simulated cost model is unaffected.
+func (m *Sim) SetWorkers(w int) { m.workers = par.Workers(w) }
+
+// Workers returns the resolved pool size.
+func (m *Sim) Workers() int { return m.workers }
 
 // MemoryPerMachine returns S in tuples.
 func (m *Sim) MemoryPerMachine() int { return m.s }
@@ -154,40 +171,117 @@ func (m *Sim) validate(op string) error {
 // Sort globally sorts the resident tuples, charging SortRounds. The
 // canonical balanced placement is re-established, so per-machine load is
 // ⌈total/P⌉ afterwards.
+//
+// The in-process realization mirrors the [GSZ11] sample sort it simulates:
+// every machine block is sorted by its own goroutine and the sorted runs
+// merge in parallel (par.SortStable). Stability makes the result identical
+// to a serial stable sort at every worker count.
 func (m *Sim) Sort(less func(a, b *Tuple) bool) error {
-	sort.SliceStable(m.data, func(i, j int) bool { return less(&m.data[i], &m.data[j]) })
+	if cap(m.sortBuf) < len(m.data) {
+		m.sortBuf = make([]Tuple, len(m.data))
+	}
+	par.SortStableBuf(m.workers, m.data, m.sortBuf[:len(m.data)], less)
 	m.rounds += m.SortRounds()
 	m.sorts++
 	m.totalMoved += int64(len(m.data))
 	return m.validate("sort")
 }
 
-// Scan runs a read-only pass over the tuples in placement order. Local: no
+// Scan runs a read-only pass over the tuples in placement order, on the
+// calling goroutine (callers carry cross-tuple state through it). Local: no
 // rounds. Cross-machine aggregation performed on top of a Scan must be
-// charged separately with ChargeTree.
+// charged separately with ChargeTree; for the parallel segmented form see
+// SegmentStarts.
 func (m *Sim) Scan(f func(t *Tuple)) {
 	for i := range m.data {
 		f(&m.data[i])
 	}
 }
 
-// Update mutates tuples in place (local relabeling; no rounds).
+// Update mutates tuples in place (local relabeling; no rounds). Each
+// simulated machine's pass runs on the worker pool, so f must be a pure
+// per-tuple function: it may be invoked concurrently and must touch only
+// the tuple it is handed.
 func (m *Sim) Update(f func(t *Tuple)) {
-	for i := range m.data {
-		f(&m.data[i])
-	}
+	par.For(m.workers, len(m.data), func(i int) { f(&m.data[i]) })
 }
 
 // Filter drops tuples not accepted by keep (local; no rounds — machines
-// simply release memory).
+// simply release memory). keep runs on the worker pool and must be a pure
+// per-tuple predicate; the surviving tuples retain their order, so the
+// result is identical at every worker count.
 func (m *Sim) Filter(keep func(t *Tuple) bool) {
+	if cap(m.mask) < len(m.data) {
+		m.mask = make([]bool, len(m.data))
+	}
+	mask := m.mask[:len(m.data)]
+	par.For(m.workers, len(m.data), func(i int) { mask[i] = keep(&m.data[i]) })
+	m.Keep(mask)
+}
+
+// Keep retains exactly the tuples whose mask entry is true, preserving
+// order (local compaction; no rounds).
+func (m *Sim) Keep(mask []bool) {
+	if len(mask) != len(m.data) {
+		panic("mpc: Keep mask length mismatch")
+	}
 	out := m.data[:0]
 	for i := range m.data {
-		if keep(&m.data[i]) {
+		if mask[i] {
 			out = append(out, m.data[i])
 		}
 	}
 	m.data = out
+}
+
+// Data exposes the resident tuples in placement order. Callers must treat
+// the slice as read-only; it is invalidated by the next primitive. It backs
+// the segment-parallel passes of the driver, which read disjoint runs
+// concurrently.
+func (m *Sim) Data() []Tuple { return m.data }
+
+// SegmentStarts returns the start index of every maximal run of consecutive
+// resident tuples for which sameKey holds between neighbors — the segment
+// decomposition that Section 6's "group by supernode, aggregate per group"
+// subroutines operate on. Boundary detection is a local comparison with the
+// left neighbor, so it parallelizes over the machine blocks; the returned
+// starts are in increasing order and independent of the worker count.
+func (m *Sim) SegmentStarts(sameKey func(a, b *Tuple) bool) []int {
+	n := len(m.data)
+	if n == 0 {
+		return nil
+	}
+	isStart := make([]bool, n)
+	isStart[0] = true
+	par.For(m.workers, n-1, func(i int) {
+		if !sameKey(&m.data[i], &m.data[i+1]) {
+			isStart[i+1] = true
+		}
+	})
+	var starts []int
+	for i, s := range isStart {
+		if s {
+			starts = append(starts, i)
+		}
+	}
+	return starts
+}
+
+// ForSegments fans fn out over the segments delimited by starts (as
+// returned by SegmentStarts): fn(shard, si, lo, hi) receives the si-th
+// segment as m.Data()[lo:hi]. Segments shard contiguously, so per-shard
+// outputs concatenated in shard order equal segment order — the same
+// determinism rule as par.ForShard.
+func (m *Sim) ForSegments(starts []int, fn func(shard, si, lo, hi int)) {
+	par.ForShard(m.workers, len(starts), func(shard, s0, s1 int) {
+		for si := s0; si < s1; si++ {
+			end := len(m.data)
+			if si+1 < len(starts) {
+				end = starts[si+1]
+			}
+			fn(shard, si, starts[si], end)
+		}
+	})
 }
 
 // ChargeTree charges `times` aggregation-tree operations (segmented minima,

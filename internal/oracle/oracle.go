@@ -34,6 +34,7 @@ import (
 
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/par"
 	"mpcspanner/internal/xrand"
 )
 
@@ -297,18 +298,30 @@ func (o *Oracle) QueryMany(pairs []Pair) []float64 {
 	return out
 }
 
+// zipfShards is the fixed shard count of ZipfWorkload generation. Fixed —
+// not GOMAXPROCS — so the generated workload is a pure function of the
+// arguments on every machine; only the generation wall-clock varies.
+const zipfShards = 8
+
 // ZipfWorkload draws q (source, target) pairs with Zipf(exponent)
 // distributed sources over [0, n) and uniform targets — the skewed
 // hot-source access pattern a serving-layer cache exists for. The
 // benchmarks and cmd/oracle's -synth mode share it, so the CLI serves
-// exactly the workload the README numbers describe. Deterministic in seed.
+// exactly the workload the README numbers describe. Deterministic in seed:
+// generation fans out over a fixed number of shards, each drawing from its
+// own par.Streams stream (one Zipf source stream and one target stream per
+// shard) into its own index range, so the pairs are identical however many
+// cores run the shards.
 func ZipfWorkload(n, q int, exponent float64, seed uint64) []Pair {
-	src := xrand.NewZipf(xrand.Split(seed, 0xface), n, exponent)
-	tgt := xrand.Split(seed, 0xbeef)
+	streams := par.Streams(seed, 2*zipfShards)
 	pairs := make([]Pair, q)
-	for i := range pairs {
-		pairs[i] = Pair{U: src.Next(), V: tgt.Intn(n)}
-	}
+	par.ForCoarse(par.Workers(0), zipfShards, func(s int) {
+		src := xrand.NewZipf(streams[2*s], n, exponent)
+		tgt := streams[2*s+1]
+		for i := s * q / zipfShards; i < (s+1)*q/zipfShards; i++ {
+			pairs[i] = Pair{U: src.Next(), V: tgt.Intn(n)}
+		}
+	})
 	return pairs
 }
 

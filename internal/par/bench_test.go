@@ -1,0 +1,81 @@
+package par
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"mpcspanner/internal/xrand"
+)
+
+// benchWorkerCounts sweeps serial vs the GOMAXPROCS default, collapsing to
+// one entry on single-core machines so b.Run never emits duplicate keys.
+func benchWorkerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	if max == 1 {
+		return []int{1}
+	}
+	return []int{1, max}
+}
+
+// benchWork is a deliberately non-trivial per-index kernel so the benchmark
+// measures dispatch overhead against real work, as the construction loops do.
+func benchWork(i int) float64 {
+	x := float64(i%997) + 1
+	for k := 0; k < 40; k++ {
+		x = math.Sqrt(x*1.7 + 3)
+	}
+	return x
+}
+
+func BenchmarkFor(b *testing.B) {
+	const n = 200_000
+	out := make([]float64, n)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				For(w, n, func(j int) { out[j] = benchWork(j) })
+			}
+		})
+	}
+}
+
+func BenchmarkSortStable(b *testing.B) {
+	const n = 300_000
+	base := randomKVs(1, n, 1000)
+	scratch := make([]kv, n)
+	less := func(a, b *kv) bool { return a.k < b.k }
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(scratch, base)
+				SortStable(w, scratch, less)
+			}
+		})
+	}
+}
+
+func BenchmarkMergeSorted(b *testing.B) {
+	const n = 200_000
+	src := xrand.New(3)
+	a := make([]kv, n)
+	c := make([]kv, n)
+	prevA, prevC := 0, 0
+	for i := 0; i < n; i++ {
+		prevA += src.Intn(3)
+		prevC += src.Intn(3)
+		a[i] = kv{k: prevA, pos: i}
+		c[i] = kv{k: prevC, pos: n + i}
+	}
+	dst := make([]kv, 2*n)
+	less := func(x, y *kv) bool { return x.k < y.k }
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MergeSorted(w, dst, a, c, less)
+			}
+		})
+	}
+}

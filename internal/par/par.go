@@ -1,0 +1,336 @@
+// Package par is the deterministic parallel-execution layer of the
+// construction pipeline. Every construction-side package (internal/spanner,
+// internal/mpc, internal/cclique, internal/pram, internal/cluster) runs its
+// data-parallel passes through the primitives here instead of hand-rolled
+// goroutines, and every primitive carries the same contract:
+//
+//	equal inputs produce bit-identical outputs at every worker count.
+//
+// The contract is met by construction, not by locking:
+//
+//   - For/ForShard/Map use *static chunking*: the index space [0, n) is cut
+//     into at most `workers` contiguous shards whose boundaries depend only
+//     on (n, workers), and results are either index-addressed (each
+//     iteration writes its own slot) or merged by concatenating per-shard
+//     accumulators in shard order — which equals index order, so the merged
+//     sequence is independent of goroutine scheduling.
+//   - SortStable is a stable parallel merge sort: stability makes the output
+//     sequence a pure function of the input, so it equals the serial
+//     sort.SliceStable result at every worker count.
+//   - MergeSorted splits one merge of two sorted runs across workers along
+//     the merge path (binary-searched cut points), keeping the stable
+//     tie-break (runs of equal elements take the left run first).
+//   - Streams derives per-shard xrand streams keyed by shard index, so
+//     random decisions made inside shard s are a pure function of
+//     (seed, s, position) and can be merged order-independently.
+//
+// Worker counts: 0 selects runtime.GOMAXPROCS(0) ("as fast as the hardware
+// allows"), 1 forces the serial path, larger values pin the pool size.
+// Negative counts are a configuration error that callers reject at their
+// option-validation boundary (see spanner.Options, mpc.Options and the
+// facade); Workers clamps them to 1 as a defensive fallback.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mpcspanner/internal/xrand"
+)
+
+// Workers resolves a requested worker count: 0 selects GOMAXPROCS, values
+// below zero clamp to 1 (callers validate and reject negatives before
+// resolving; the clamp is defense in depth).
+func Workers(requested int) int {
+	if requested == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if requested < 1 {
+		return 1
+	}
+	return requested
+}
+
+// CheckWorkers is the shared validation every option surface applies before
+// resolving a worker count: negative values are a configuration error. The
+// prefix names the rejecting layer ("spanner: Options.Workers", "mpc:
+// Options.Workers", …) so the error reads the same everywhere while still
+// locating the misconfiguration.
+func CheckWorkers(prefix string, w int) error {
+	if w < 0 {
+		return fmt.Errorf("%s must be >= 0 (0 = GOMAXPROCS, 1 = serial), got %d", prefix, w)
+	}
+	return nil
+}
+
+// serialCutoff is the index-space size below which a parallel dispatch costs
+// more than it saves; smaller loops run inline on the calling goroutine.
+const serialCutoff = 256
+
+// ShardCount returns the number of shards ForShard(workers, n, …) will
+// actually invoke, so callers can size per-shard state (scratch buffers,
+// accumulators) to what runs instead of the full worker count.
+func ShardCount(workers, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < serialCutoff {
+		return 1
+	}
+	return workers
+}
+
+// ForShard cuts [0, n) into at most `workers` contiguous shards and invokes
+// fn(shard, lo, hi) once per non-empty shard, concurrently. Shard boundaries
+// are a pure function of (n, workers): shard w covers [w·n/W, (w+1)·n/W).
+// Shard ids are always < workers, so callers may allocate per-shard
+// accumulators as make([]T, workers) and merge them in shard order — that
+// order equals index order, which is what makes sharded accumulation
+// deterministic. Small inputs (n < 256) run inline as a single shard 0.
+func ForShard(workers, n int, fn func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < serialCutoff {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w, w*n/workers, (w+1)*n/workers)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForCoarse is For without the small-n serial cutoff: every chunk runs on
+// its own goroutine even for tiny n. Use it for coarse-grained tasks — whole
+// algorithm runs, per-repetition instances — where n is small but each
+// iteration is expensive enough to dwarf a goroutine dispatch.
+func ForCoarse(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(w*n/workers, (w+1)*n/workers)
+	}
+	wg.Wait()
+}
+
+// For runs fn(i) for every i in [0, n) across `workers` goroutines with
+// static chunking. Iterations must be independent; when each writes only its
+// own output slot the result is deterministic regardless of scheduling.
+func For(workers, n int, fn func(i int)) {
+	ForShard(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Map evaluates fn over [0, n) in parallel and returns the index-addressed
+// results: out[i] = fn(i). The output is identical at every worker count.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// minSortRun is the smallest per-worker run worth sorting on its own
+// goroutine; inputs below workers·minSortRun fall back to fewer workers.
+const minSortRun = 1024
+
+// SortStable sorts data stably by less using a parallel merge sort: the
+// slice is cut into contiguous runs (one per worker), each run is sorted
+// with sort.SliceStable concurrently, and adjacent runs are merged pairwise
+// — each merge itself parallelized along its merge path — until one run
+// remains. Stability makes the output a pure function of the input, so the
+// result is bit-identical to a serial sort.SliceStable at any worker count.
+func SortStable[T any](workers int, data []T, less func(a, b *T) bool) {
+	SortStableBuf(workers, data, nil, less)
+}
+
+// SortStableBuf is SortStable with a caller-provided merge scratch buffer
+// (must not alias data; grown internally when cap(buf) < len(data)).
+// Callers that sort repeatedly — the MPC simulator sorts once per simulated
+// round — pass a retained buffer to avoid re-allocating len(data) scratch
+// per sort.
+func SortStableBuf[T any](workers int, data, buf []T, less func(a, b *T) bool) {
+	n := len(data)
+	if workers > n/minSortRun {
+		workers = n / minSortRun
+	}
+	if workers <= 1 {
+		sort.SliceStable(data, func(i, j int) bool { return less(&data[i], &data[j]) })
+		return
+	}
+	// Run boundaries: runs[i] is the start of run i; runs[last] == n.
+	runs := make([]int, workers+1)
+	for w := 0; w <= workers; w++ {
+		runs[w] = w * n / workers
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			sub := data[lo:hi]
+			sort.SliceStable(sub, func(i, j int) bool { return less(&sub[i], &sub[j]) })
+		}(runs[w], runs[w+1])
+	}
+	wg.Wait()
+
+	// Pairwise merge rounds, ping-ponging between data and a scratch buffer.
+	if cap(buf) < n {
+		buf = make([]T, n)
+	}
+	buf = buf[:n]
+	src, dst := data, buf
+	for len(runs) > 2 {
+		next := make([]int, 0, len(runs)/2+2)
+		pairs := (len(runs) - 1) / 2
+		var mw sync.WaitGroup
+		for p := 0; p < pairs; p++ {
+			lo, mid, hi := runs[2*p], runs[2*p+1], runs[2*p+2]
+			next = append(next, lo)
+			mw.Add(1)
+			go func(lo, mid, hi int) {
+				defer mw.Done()
+				// Workers for the inner merge: spread the pool over the
+				// concurrent pair merges of this round.
+				inner := workers / pairs
+				if inner < 1 {
+					inner = 1
+				}
+				MergeSorted(inner, dst[lo:hi], src[lo:mid], src[mid:hi], less)
+			}(lo, mid, hi)
+		}
+		if (len(runs)-1)%2 == 1 { // odd run rides along unmerged
+			lo, hi := runs[len(runs)-2], runs[len(runs)-1]
+			next = append(next, lo)
+			copy(dst[lo:hi], src[lo:hi])
+		}
+		mw.Wait()
+		next = append(next, n)
+		runs = next
+		src, dst = dst, src
+	}
+	if &src[0] != &data[0] {
+		copy(data, src)
+	}
+}
+
+// MergeSorted merges the sorted runs a and b into dst, which must have
+// length len(a)+len(b) and not alias either input. The merge is stable: on
+// ties the element of a is emitted first. With workers > 1 the output is cut
+// into `workers` balanced blocks whose (i, j) cut points are found by binary
+// search along the merge path, and the blocks are merged concurrently; the
+// result is identical to the serial merge at every worker count.
+func MergeSorted[T any](workers int, dst, a, b []T, less func(x, y *T) bool) {
+	if len(dst) != len(a)+len(b) {
+		panic("par: MergeSorted dst length mismatch")
+	}
+	if workers > len(dst)/minSortRun {
+		workers = len(dst) / minSortRun
+	}
+	if workers <= 1 {
+		mergeSerial(dst, a, b, less)
+		return
+	}
+	n := len(dst)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	prevI, prevJ := 0, 0
+	for w := 1; w <= workers; w++ {
+		p := w * n / workers
+		i := mergeCut(p, a, b, less)
+		j := p - i
+		go func(dst []T, a, b []T) {
+			defer wg.Done()
+			mergeSerial(dst, a, b, less)
+		}(dst[prevI+prevJ:p], a[prevI:i], b[prevJ:j])
+		prevI, prevJ = i, j
+	}
+	wg.Wait()
+}
+
+// mergeCut returns the unique i such that taking a[:i] and b[:p-i] yields the
+// first p outputs of the stable merge of a and b.
+func mergeCut[T any](p int, a, b []T, less func(x, y *T) bool) int {
+	lo := p - len(b)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := p
+	if hi > len(a) {
+		hi = len(a)
+	}
+	// First i where b[p-i-1] < a[i] (or the b side is exhausted): beyond it
+	// the merge would have emitted b[p-i-1] after a[i], violating the order.
+	return lo + sort.Search(hi-lo, func(d int) bool {
+		i := lo + d
+		j := p - i
+		return j == 0 || less(&b[j-1], &a[i])
+	})
+}
+
+// mergeSerial is the scalar stable merge: ties take from a.
+func mergeSerial[T any](dst, a, b []T, less func(x, y *T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if !less(&b[j], &a[i]) { // a[i] <= b[j]
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// streamTag namespaces Streams-derived keys inside the xrand key space so
+// shard streams never collide with algorithm coin domains.
+const streamTag = 0x70617273 // "pars"
+
+// Streams derives `shards` independent deterministic random streams from
+// seed, keyed by shard index. A value drawn inside shard s is a pure
+// function of (seed, s, draw position) — independent of how many shards run
+// concurrently or in what order — so per-shard random decisions can be
+// merged order-independently by concatenating shard outputs in shard order.
+func Streams(seed uint64, shards int) []*xrand.Source {
+	out := make([]*xrand.Source, shards)
+	for i := range out {
+		out[i] = xrand.Split(seed, streamTag, uint64(i))
+	}
+	return out
+}

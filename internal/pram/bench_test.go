@@ -1,0 +1,29 @@
+package pram
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mpcspanner/internal/graph"
+)
+
+// BenchmarkPRAMSpannerCosts pins the PRAM-billed construction serial vs
+// parallel (the bill itself is O(iterations); the spanner build is the
+// wall-clock).
+func BenchmarkPRAMSpannerCosts(b *testing.B) {
+	g := graph.GNP(10_000, 10/10_000.0, graph.UniformWeight(1, 20), 7)
+	counts := []int{1}
+	if max := runtime.GOMAXPROCS(0); max > 1 {
+		counts = append(counts, max)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("n=10k/k=16/t=2/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := SpannerCostsWorkers(g, 16, 2, 7, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

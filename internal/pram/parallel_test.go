@@ -1,0 +1,41 @@
+package pram
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mpcspanner/internal/graph"
+)
+
+// TestWorkerCountInvariancePRAM pins the PRAM path: the spanner and the
+// work/depth bill are bit-identical between serial and multi-worker step
+// loops (the bill models the CRCW machine, not the real pool).
+func TestWorkerCountInvariancePRAM(t *testing.T) {
+	w := runtime.NumCPU()
+	if w < 4 {
+		w = 4
+	}
+	g := graph.GNP(400, 0.04, graph.UniformWeight(1, 9), 3)
+	resS, costS, err := SpannerCostsWorkers(g, 8, 2, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resP, costP, err := SpannerCostsWorkers(g, 8, 2, 7, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resS, resP) {
+		t.Fatal("PRAM spanner differs between worker counts")
+	}
+	if costS != costP {
+		t.Fatalf("PRAM bill differs between worker counts: %+v vs %+v", costS, costP)
+	}
+}
+
+func TestNegativeWorkersRejectedPRAM(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeight, 1)
+	if _, _, err := SpannerCostsWorkers(g, 2, 1, 1, -1); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}

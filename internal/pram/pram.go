@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/par"
 	"mpcspanner/internal/spanner"
 )
 
@@ -94,12 +95,25 @@ func (s *Sim) Merge(items int) {
 // the PRAM bill of executing the same schedule with the [BS07] primitives:
 // every grow iteration is one hashing pass, one semisort, one generalized
 // find-min and one merge over the live edges; every contraction is one
-// semisort plus a relabeling ParallelFor.
+// semisort plus a relabeling ParallelFor. The step loop executes on a
+// GOMAXPROCS worker pool; use SpannerCostsWorkers to pin the pool size.
 func SpannerCosts(g *graph.Graph, k, t int, seed uint64) (*spanner.Result, Costs, error) {
+	return SpannerCostsWorkers(g, k, t, seed, 0)
+}
+
+// SpannerCostsWorkers is SpannerCosts with an explicit worker pool size for
+// the underlying step loop (par conventions: 0 = GOMAXPROCS, 1 = serial;
+// negatives rejected). The work/depth bill models the CRCW PRAM regardless
+// of the real pool, and both the spanner and the bill are bit-identical at
+// every worker count.
+func SpannerCostsWorkers(g *graph.Graph, k, t int, seed uint64, workers int) (*spanner.Result, Costs, error) {
 	if k < 1 || t < 1 {
 		return nil, Costs{}, fmt.Errorf("pram: k and t must be >= 1 (got k=%d t=%d)", k, t)
 	}
-	res, err := spanner.General(g, k, t, spanner.Options{Seed: seed})
+	if err := par.CheckWorkers("pram: workers", workers); err != nil {
+		return nil, Costs{}, err
+	}
+	res, err := spanner.General(g, k, t, spanner.Options{Seed: seed, Workers: workers})
 	if err != nil {
 		return nil, Costs{}, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"mpcspanner/internal/cluster"
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/par"
 	"mpcspanner/internal/xrand"
 )
 
@@ -16,18 +17,28 @@ var CheckInvariants bool
 
 // engine holds the mutable state of one run of the general algorithm on one
 // graph. All supernode-indexed slices are rebuilt at each contraction.
+//
+// Parallel execution: the heavy passes — coin evaluation, the per-supernode
+// grow loop (Steps B2–B4), edge removals (B3/B4 discards and B6), the
+// contraction relabel/dedup, and Phase 2 — shard their index space over
+// internal/par with `workers` goroutines. Every shard either writes only its
+// own slots or appends to a per-shard accumulator that is concatenated in
+// shard order (= index order), so a run's output is bit-identical at every
+// worker count; the pinning tests in parallel_test.go enforce that.
 type engine struct {
 	g    *graph.Graph
 	k, t int
 	seed uint64
 	cfg  engineConfig
 
+	workers int // resolved parallel worker count (>= 1)
+
 	// Quotient graph of the current epoch.
 	nSuper int
 	edges  []cluster.QEdge // edge set E of the current epoch
 	alive  []bool          // alive[i] <=> edges[i] still unprocessed
 	nAlive int
-	inc    [][]int32 // supernode -> indexes into edges
+	inc    [][]int32 // supernode -> indexes into edges (slices of one CSR arena)
 
 	part         *cluster.Partition
 	centerVertex []int32 // supernode -> original center vertex
@@ -45,14 +56,23 @@ type engine struct {
 	treeUF     *graph.UnionFind
 	compCenter []int32
 
-	// Scratch, sized nSuper per epoch.
+	// Scratch, sized nSuper per epoch. sampledFlag is shared (written before
+	// the parallel passes, read-only inside them); the per-cluster minima
+	// buffers are per worker so the sharded grow loop never contends.
 	sampledFlag []bool
-	mark        []int32
-	bestW       []float64
-	bestIdx     []int32
-	stamp       int32
+	scratch     []growScratch
 
 	stats Stats
+}
+
+// growScratch is one worker's per-cluster minima buffer (Definition 4.1's
+// E(v, c) gathering). stamp-marking avoids clearing between supernodes.
+type growScratch struct {
+	mark    []int32
+	bestW   []float64
+	bestIdx []int32
+	stamp   int32
+	nbr     []int32
 }
 
 // runEngine executes one full run and returns the spanner.
@@ -77,34 +97,89 @@ func runEngine(g *graph.Graph, k, t int, seed uint64, cfg engineConfig) *Result 
 
 func (e *engine) resetEpochScratch() {
 	e.sampledFlag = make([]bool, e.nSuper)
-	e.mark = make([]int32, e.nSuper)
-	e.bestW = make([]float64, e.nSuper)
-	e.bestIdx = make([]int32, e.nSuper)
-	for i := range e.mark {
-		e.mark[i] = -1
+	// One scratch per shard that will actually run (nSuper shrinks every
+	// contraction, so late epochs often collapse to one inline shard), with
+	// buffer capacity reused across epochs.
+	shards := par.ShardCount(e.workers, e.nSuper)
+	if shards > len(e.scratch) {
+		e.scratch = append(e.scratch, make([]growScratch, shards-len(e.scratch))...)
 	}
-	e.stamp = -1
+	e.scratch = e.scratch[:shards]
+	for w := range e.scratch {
+		sc := &e.scratch[w]
+		if cap(sc.mark) < e.nSuper {
+			sc.mark = make([]int32, e.nSuper)
+			sc.bestW = make([]float64, e.nSuper)
+			sc.bestIdx = make([]int32, e.nSuper)
+		} else {
+			sc.mark = sc.mark[:e.nSuper]
+			sc.bestW = sc.bestW[:e.nSuper]
+			sc.bestIdx = sc.bestIdx[:e.nSuper]
+		}
+		for i := range sc.mark {
+			sc.mark[i] = -1
+		}
+		sc.stamp = -1
+		sc.nbr = sc.nbr[:0]
+	}
 }
 
+// rebuildIncidence rebuilds the supernode → incident-edge lists as a single
+// CSR arena. Per-shard degree histograms give every (shard, supernode) pair
+// a deterministic write window, so the parallel fill preserves ascending
+// edge-index order inside every list at any worker count — the same order
+// the old sequential append produced.
 func (e *engine) rebuildIncidence() {
-	e.inc = make([][]int32, e.nSuper)
-	deg := make([]int32, e.nSuper)
-	for i := range e.edges {
-		if !e.alive[i] {
-			continue
+	n := e.nSuper
+	w := e.workers
+	cnt := make([][]int32, w)
+	par.ForShard(w, len(e.edges), func(shard, lo, hi int) {
+		c := make([]int32, n)
+		for ei := lo; ei < hi; ei++ {
+			if !e.alive[ei] {
+				continue
+			}
+			c[e.edges[ei].A]++
+			c[e.edges[ei].B]++
 		}
-		deg[e.edges[i].A]++
-		deg[e.edges[i].B]++
-	}
-	for v := range e.inc {
-		e.inc[v] = make([]int32, 0, deg[v])
-	}
-	for i := range e.edges {
-		if !e.alive[i] {
-			continue
+		cnt[shard] = c
+	})
+	off := make([]int32, n+1)
+	starts := make([][]int32, w)
+	for s := range starts {
+		if cnt[s] != nil {
+			starts[s] = make([]int32, n)
 		}
-		e.inc[e.edges[i].A] = append(e.inc[e.edges[i].A], int32(i))
-		e.inc[e.edges[i].B] = append(e.inc[e.edges[i].B], int32(i))
+	}
+	total := int32(0)
+	for v := 0; v < n; v++ {
+		off[v] = total
+		for s := 0; s < w; s++ {
+			if cnt[s] == nil {
+				continue
+			}
+			starts[s][v] = total
+			total += cnt[s][v]
+		}
+	}
+	off[n] = total
+	arena := make([]int32, total)
+	par.ForShard(w, len(e.edges), func(shard, lo, hi int) {
+		cur := starts[shard]
+		for ei := lo; ei < hi; ei++ {
+			if !e.alive[ei] {
+				continue
+			}
+			ed := &e.edges[ei]
+			arena[cur[ed.A]] = int32(ei)
+			cur[ed.A]++
+			arena[cur[ed.B]] = int32(ei)
+			cur[ed.B]++
+		}
+	})
+	e.inc = make([][]int32, n)
+	for v := 0; v < n; v++ {
+		e.inc[v] = arena[off[v]:off[v+1]]
 	}
 }
 
@@ -152,8 +227,6 @@ func (e *engine) phase1() {
 	}
 }
 
-// iterate performs one grow iteration (Step B of §5.1) at sampling
-// probability p, identified cross-plane by (epoch, iter).
 // groupKey identifies a (supernode, neighbor-cluster) removal group.
 type groupKey struct{ v, c int32 }
 
@@ -175,6 +248,21 @@ type iterPlan struct {
 	newEdges    int   // additions not already in the spanner
 }
 
+// vJoin is a join decision ordered by its supernode, the shard-local record
+// the parallel grow loop emits before the decisions merge into plan.joins.
+type vJoin struct {
+	v   int32
+	rec joinRec
+}
+
+// planPart is one shard's share of an iteration plan. Concatenating parts in
+// shard order reproduces the serial supernode-order decision sequence.
+type planPart struct {
+	adds    []int
+	joins   []vJoin
+	removes []groupKey
+}
+
 // iterate performs one grow iteration (Step B of §5.1) at sampling
 // probability p, identified cross-plane by (epoch, iter).
 func (e *engine) iterate(p float64, epoch, iter uint64) {
@@ -193,11 +281,17 @@ func (e *engine) planIteration(coin func(center int32) bool) *iterPlan {
 	}
 	// Step B1: sample the live clusters. The coin for a cluster is keyed by
 	// its center's *original vertex*, which is stable across execution
-	// planes and contractions.
-	for _, c := range e.active {
-		s := coin(e.centerVertex[c])
-		e.sampledFlag[c] = s
-		if s {
+	// planes and contractions; coins are pure functions, so they evaluate in
+	// parallel and assemble in active order.
+	flags := par.Map(e.workers, len(e.active), func(i int) bool {
+		return coin(e.centerVertex[e.active[i]])
+	})
+	// Assign every active flag (not just the sampled ones): clusters that
+	// survived the previous iteration still carry a stale true flag that a
+	// false coin must overwrite.
+	for i, c := range e.active {
+		e.sampledFlag[c] = flags[i]
+		if flags[i] {
 			plan.sampled = append(plan.sampled, c)
 		}
 	}
@@ -207,27 +301,53 @@ func (e *engine) planIteration(coin func(center int32) bool) *iterPlan {
 		}
 	}()
 
-	addPlanned := func(orig int) {
-		if !e.inSpanner[orig] {
-			// Not exact under intra-plan duplicates; fixed up below.
-			plan.newEdges++
-		}
-		plan.adds = append(plan.adds, orig)
-	}
-
 	// Steps B2-B4: process every supernode not inside a sampled cluster.
 	// Decisions are taken against the iteration-start snapshot, matching the
-	// parallel (per-machine) semantics of the MPC implementation.
-	var nbr []int32
-	for v := int32(0); int(v) < e.nSuper; v++ {
+	// parallel (per-machine) semantics of the MPC implementation — which is
+	// exactly why the supernode space shards cleanly: every worker reads the
+	// same snapshot and appends decisions for its own index range.
+	parts := make([]planPart, e.workers)
+	par.ForShard(e.workers, e.nSuper, func(shard, lo, hi int) {
+		e.planRange(&e.scratch[shard], &parts[shard], int32(lo), int32(hi))
+	})
+	for i := range parts {
+		p := &parts[i]
+		plan.adds = append(plan.adds, p.adds...)
+		for _, j := range p.joins {
+			plan.joins[j.v] = j.rec
+		}
+		for _, r := range p.removes {
+			plan.removeGroup[r] = struct{}{}
+		}
+	}
+	// newEdges counts distinct planned additions not already in the spanner
+	// (the same minimum edge can be chosen from both endpoints).
+	seen := make(map[int]struct{}, len(plan.adds))
+	for _, orig := range plan.adds {
+		if _, dup := seen[orig]; dup {
+			continue
+		}
+		seen[orig] = struct{}{}
+		if !e.inSpanner[orig] {
+			plan.newEdges++
+		}
+	}
+	return plan
+}
+
+// planRange evaluates Steps B2-B4 for supernodes [lo, hi) against the
+// iteration-start snapshot. It writes only to the shard's own scratch and
+// part, so ranges run concurrently.
+func (e *engine) planRange(sc *growScratch, p *planPart, lo, hi int32) {
+	for v := lo; v < hi; v++ {
 		cv := e.clusterOf[v]
 		if cv == cluster.None || e.sampledFlag[cv] {
 			continue
 		}
 		// Gather the minimum-weight alive edge toward each neighboring
 		// cluster (Definition 4.1's E(v, c) minima).
-		e.stamp++
-		nbr = nbr[:0]
+		sc.stamp++
+		sc.nbr = sc.nbr[:0]
 		for _, ei := range e.inc[v] {
 			if !e.alive[ei] {
 				continue
@@ -241,74 +361,57 @@ func (e *engine) planIteration(coin func(center int32) bool) *iterPlan {
 			if CheckInvariants && cu == cluster.None {
 				panic(fmt.Sprintf("spanner: alive edge %d touches finished supernode %d", ei, u))
 			}
-			if e.mark[cu] != e.stamp {
-				e.mark[cu] = e.stamp
-				e.bestW[cu] = ed.W
-				e.bestIdx[cu] = ei
-				nbr = append(nbr, cu)
-			} else if ed.W < e.bestW[cu] || (ed.W == e.bestW[cu] && ed.Orig < e.edges[e.bestIdx[cu]].Orig) {
-				e.bestW[cu] = ed.W
-				e.bestIdx[cu] = ei
+			if sc.mark[cu] != sc.stamp {
+				sc.mark[cu] = sc.stamp
+				sc.bestW[cu] = ed.W
+				sc.bestIdx[cu] = ei
+				sc.nbr = append(sc.nbr, cu)
+			} else if ed.W < sc.bestW[cu] || (ed.W == sc.bestW[cu] && ed.Orig < e.edges[sc.bestIdx[cu]].Orig) {
+				sc.bestW[cu] = ed.W
+				sc.bestIdx[cu] = ei
 			}
 		}
-		if len(nbr) == 0 {
+		if len(sc.nbr) == 0 {
 			continue
 		}
 		// Step B3: closest sampled neighboring cluster, if any. Ties break
 		// by (weight, center vertex id) for determinism.
 		closest := int32(-1)
-		for _, cu := range nbr {
+		for _, cu := range sc.nbr {
 			if !e.sampledFlag[cu] {
 				continue
 			}
-			if closest == -1 || e.bestW[cu] < e.bestW[closest] ||
-				(e.bestW[cu] == e.bestW[closest] && e.centerVertex[cu] < e.centerVertex[closest]) {
+			if closest == -1 || sc.bestW[cu] < sc.bestW[closest] ||
+				(sc.bestW[cu] == sc.bestW[closest] && e.centerVertex[cu] < e.centerVertex[closest]) {
 				closest = cu
 			}
 		}
 		if closest >= 0 {
-			je := e.bestIdx[closest]
+			je := sc.bestIdx[closest]
 			orig := e.edges[je].Orig
-			addPlanned(orig)
-			plan.joins[v] = joinRec{center: closest, orig: orig}
-			plan.removeGroup[groupKey{v, closest}] = struct{}{}
-			w0 := e.bestW[closest]
+			p.adds = append(p.adds, orig)
+			p.joins = append(p.joins, vJoin{v: v, rec: joinRec{center: closest, orig: orig}})
+			p.removes = append(p.removes, groupKey{v, closest})
+			w0 := sc.bestW[closest]
 			// Step B3 second bullet: clusters reachable strictly cheaper
 			// than the join edge also get their minimum edge, then all
 			// their edges are discarded.
-			for _, cu := range nbr {
-				if cu == closest || e.bestW[cu] >= w0 {
+			for _, cu := range sc.nbr {
+				if cu == closest || sc.bestW[cu] >= w0 {
 					continue
 				}
-				addPlanned(e.edges[e.bestIdx[cu]].Orig)
-				plan.removeGroup[groupKey{v, cu}] = struct{}{}
+				p.adds = append(p.adds, e.edges[sc.bestIdx[cu]].Orig)
+				p.removes = append(p.removes, groupKey{v, cu})
 			}
 		} else {
 			// Step B4: no sampled neighbor — keep one minimum edge per
 			// neighboring cluster and discard everything else.
-			for _, cu := range nbr {
-				addPlanned(e.edges[e.bestIdx[cu]].Orig)
-				plan.removeGroup[groupKey{v, cu}] = struct{}{}
+			for _, cu := range sc.nbr {
+				p.adds = append(p.adds, e.edges[sc.bestIdx[cu]].Orig)
+				p.removes = append(p.removes, groupKey{v, cu})
 			}
 		}
 	}
-	// Correct newEdges for duplicates planned twice within this iteration
-	// (the same minimum edge chosen from both endpoints).
-	if len(plan.adds) > 1 {
-		seen := make(map[int]struct{}, len(plan.adds))
-		fresh := 0
-		for _, orig := range plan.adds {
-			if _, dup := seen[orig]; dup {
-				continue
-			}
-			seen[orig] = struct{}{}
-			if !e.inSpanner[orig] {
-				fresh++
-			}
-		}
-		plan.newEdges = fresh
-	}
-	return plan
 }
 
 // applyIteration commits a plan: spanner additions, removals, cluster
@@ -324,27 +427,22 @@ func (e *engine) applyIteration(plan *iterPlan) {
 		}
 	}
 
-	// Apply removals against the snapshot clustering.
+	// Apply removals against the snapshot clustering (the removal map is
+	// read-only inside the sharded sweep).
 	if len(plan.removeGroup) > 0 {
-		for ei := range e.edges {
-			if !e.alive[ei] {
-				continue
-			}
+		e.killEdges(func(ei int) bool {
 			ed := &e.edges[ei]
 			if _, ok := plan.removeGroup[groupKey{int32(ed.A), e.clusterOf[ed.B]}]; ok {
-				e.alive[ei] = false
-				e.nAlive--
-				continue
+				return true
 			}
-			if _, ok := plan.removeGroup[groupKey{int32(ed.B), e.clusterOf[ed.A]}]; ok {
-				e.alive[ei] = false
-				e.nAlive--
-			}
-		}
+			_, ok := plan.removeGroup[groupKey{int32(ed.B), e.clusterOf[ed.A]}]
+			return ok
+		})
 	}
 
 	// Step B5: form D_j — sampled clusters keep their members and absorb the
-	// joining supernodes; everything else dissolves.
+	// joining supernodes; everything else dissolves. Serial: recordMerge
+	// mutates the cluster-tree union-find, and the pass is O(nSuper).
 	for v := int32(0); int(v) < e.nSuper; v++ {
 		cv := e.clusterOf[v]
 		if cv == cluster.None {
@@ -361,21 +459,15 @@ func (e *engine) applyIteration(plan *iterPlan) {
 		}
 	}
 
-	// Step B6: drop intra-cluster edges.
-	for ei := range e.edges {
-		if !e.alive[ei] {
-			continue
-		}
+	// Step B6: drop intra-cluster edges (cluster labels are stable now).
+	e.killEdges(func(ei int) bool {
 		ed := &e.edges[ei]
 		ca, cb := e.clusterOf[ed.A], e.clusterOf[ed.B]
 		if CheckInvariants && (ca == cluster.None || cb == cluster.None) {
 			panic(fmt.Sprintf("spanner: post-join alive edge %d has finished endpoint", ei))
 		}
-		if ca == cb {
-			e.alive[ei] = false
-			e.nAlive--
-		}
-	}
+		return ca == cb
+	})
 
 	// New live cluster set: the sampled centers, in increasing order
 	// (e.active was sorted, so the filtered list stays sorted).
@@ -388,6 +480,27 @@ func (e *engine) applyIteration(plan *iterPlan) {
 		}
 	}
 	e.active = next
+}
+
+// killEdges disables every alive edge satisfying pred: edges shard across
+// workers (pred must be a pure read of engine state; each edge writes only
+// its own alive slot) and per-shard kill counts sum in shard order into
+// nAlive.
+func (e *engine) killEdges(pred func(ei int) bool) {
+	dead := make([]int, e.workers)
+	par.ForShard(e.workers, len(e.edges), func(shard, lo, hi int) {
+		killed := 0
+		for ei := lo; ei < hi; ei++ {
+			if e.alive[ei] && pred(ei) {
+				e.alive[ei] = false
+				killed++
+			}
+		}
+		dead[shard] = killed
+	})
+	for _, d := range dead {
+		e.nAlive -= d
+	}
 }
 
 // recordMerge notes that supernode v was absorbed via original edge orig:
@@ -420,30 +533,41 @@ func (e *engine) contract() {
 		newCenter = append(newCenter, e.centerVertex[c])
 	}
 	newID := make([]int32, e.nSuper)
-	for v := 0; v < e.nSuper; v++ {
+	par.For(e.workers, e.nSuper, func(v int) {
 		if cv := e.clusterOf[v]; cv != cluster.None {
 			newID[v] = rank[cv]
 		} else {
 			newID[v] = cluster.None
 		}
-	}
-	if err := e.part.Contract(newID, len(e.active)); err != nil {
+	})
+	if err := e.part.ContractWorkers(newID, len(e.active), e.workers); err != nil {
 		panic(err) // internal relabeling is always well-formed
 	}
 
+	// Relabel the surviving edges into the new supernode space: sharded with
+	// per-shard buffers concatenated in shard order, then a parallel-sort
+	// dedup (Step C's min-weight representative per pair).
+	parts := make([][]cluster.QEdge, e.workers)
+	par.ForShard(e.workers, len(e.edges), func(shard, lo, hi int) {
+		var kept []cluster.QEdge
+		for ei := lo; ei < hi; ei++ {
+			if !e.alive[ei] {
+				continue
+			}
+			ed := e.edges[ei]
+			a, b := newID[ed.A], newID[ed.B]
+			if CheckInvariants && (a == cluster.None || b == cluster.None || a == b) {
+				panic(fmt.Sprintf("spanner: contraction found ill-placed alive edge %d", ei))
+			}
+			kept = append(kept, cluster.QEdge{A: int(a), B: int(b), W: ed.W, Orig: ed.Orig})
+		}
+		parts[shard] = kept
+	})
 	kept := make([]cluster.QEdge, 0, e.nAlive)
-	for ei := range e.edges {
-		if !e.alive[ei] {
-			continue
-		}
-		ed := e.edges[ei]
-		a, b := newID[ed.A], newID[ed.B]
-		if CheckInvariants && (a == cluster.None || b == cluster.None || a == b) {
-			panic(fmt.Sprintf("spanner: contraction found ill-placed alive edge %d", ei))
-		}
-		kept = append(kept, cluster.QEdge{A: int(a), B: int(b), W: ed.W, Orig: ed.Orig})
+	for _, p := range parts {
+		kept = append(kept, p...)
 	}
-	e.edges = cluster.MinDedup(kept)
+	e.edges = cluster.MinDedupWorkers(kept, e.workers)
 	e.alive = make([]bool, len(e.edges))
 	for i := range e.alive {
 		e.alive[i] = true
@@ -469,47 +593,67 @@ func (e *engine) phase2() {
 		return
 	}
 	if !e.cfg.classicBS {
-		live := make([]cluster.QEdge, 0, e.nAlive)
-		for ei := range e.edges {
-			if e.alive[ei] {
-				live = append(live, e.edges[ei])
+		parts := make([][]cluster.QEdge, e.workers)
+		par.ForShard(e.workers, len(e.edges), func(shard, lo, hi int) {
+			var live []cluster.QEdge
+			for ei := lo; ei < hi; ei++ {
+				if e.alive[ei] {
+					live = append(live, e.edges[ei])
+				}
 			}
+			parts[shard] = live
+		})
+		live := make([]cluster.QEdge, 0, e.nAlive)
+		for _, p := range parts {
+			live = append(live, p...)
 		}
-		for _, ed := range cluster.MinDedup(live) {
+		for _, ed := range cluster.MinDedupWorkers(live, e.workers) {
 			e.addSpanner(ed.Orig)
 		}
 		return
 	}
-	// Classic Phase 2: per-vertex, per-cluster minima over the snapshot.
-	var nbr []int32
-	for v := int32(0); int(v) < e.nSuper; v++ {
-		e.stamp++
-		nbr = nbr[:0]
-		for _, ei := range e.inc[v] {
-			if !e.alive[ei] {
-				continue
+	// Classic Phase 2: per-vertex, per-cluster minima over the snapshot,
+	// sharded like the grow iterations (per-shard scratch, per-shard adds
+	// merged in shard order).
+	adds := make([][]int, e.workers)
+	par.ForShard(e.workers, e.nSuper, func(shard, lo, hi int) {
+		sc := &e.scratch[shard]
+		var out []int
+		for v := int32(lo); int(v) < hi; v++ {
+			sc.stamp++
+			sc.nbr = sc.nbr[:0]
+			for _, ei := range e.inc[v] {
+				if !e.alive[ei] {
+					continue
+				}
+				ed := e.edges[ei]
+				u := ed.A
+				if u == int(v) {
+					u = ed.B
+				}
+				cu := e.clusterOf[u]
+				if cu == cluster.None {
+					continue
+				}
+				if sc.mark[cu] != sc.stamp {
+					sc.mark[cu] = sc.stamp
+					sc.bestW[cu] = ed.W
+					sc.bestIdx[cu] = ei
+					sc.nbr = append(sc.nbr, cu)
+				} else if ed.W < sc.bestW[cu] || (ed.W == sc.bestW[cu] && ed.Orig < e.edges[sc.bestIdx[cu]].Orig) {
+					sc.bestW[cu] = ed.W
+					sc.bestIdx[cu] = ei
+				}
 			}
-			ed := e.edges[ei]
-			u := ed.A
-			if u == int(v) {
-				u = ed.B
-			}
-			cu := e.clusterOf[u]
-			if cu == cluster.None {
-				continue
-			}
-			if e.mark[cu] != e.stamp {
-				e.mark[cu] = e.stamp
-				e.bestW[cu] = ed.W
-				e.bestIdx[cu] = ei
-				nbr = append(nbr, cu)
-			} else if ed.W < e.bestW[cu] || (ed.W == e.bestW[cu] && ed.Orig < e.edges[e.bestIdx[cu]].Orig) {
-				e.bestW[cu] = ed.W
-				e.bestIdx[cu] = ei
+			for _, cu := range sc.nbr {
+				out = append(out, e.edges[sc.bestIdx[cu]].Orig)
 			}
 		}
-		for _, cu := range nbr {
-			e.addSpanner(e.edges[e.bestIdx[cu]].Orig)
+		adds[shard] = out
+	})
+	for _, p := range adds {
+		for _, orig := range p {
+			e.addSpanner(orig)
 		}
 	}
 }

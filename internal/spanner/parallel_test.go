@@ -1,0 +1,140 @@
+package spanner
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mpcspanner/internal/graph"
+)
+
+// pinWorkers is the parallel worker count the determinism pins compare
+// against Workers: 1. It exercises real concurrency even on small CI
+// machines (goroutines interleave under -race regardless of core count).
+func pinWorkers() int {
+	w := runtime.NumCPU()
+	if w < 4 {
+		w = 4
+	}
+	return w
+}
+
+// TestWorkerCountInvariance is the engine's parallelization contract: equal
+// seeds yield bit-identical spanners, iteration/epoch counts and stretch
+// reports at every worker count, for every algorithm family.
+func TestWorkerCountInvariance(t *testing.T) {
+	w := pinWorkers()
+	for name, g := range testGraphs() {
+		builds := map[string]func(workers int) (*Result, error){
+			"general": func(workers int) (*Result, error) {
+				return General(g, 8, 2, Options{Seed: 99, Workers: workers, MeasureRadius: true})
+			},
+			"sqrt-k": func(workers int) (*Result, error) {
+				return SqrtK(g, 9, Options{Seed: 101, Workers: workers})
+			},
+			"baswana-sen": func(workers int) (*Result, error) {
+				return BaswanaSen(g, 4, Options{Seed: 103, Workers: workers})
+			},
+		}
+		for alg, build := range builds {
+			serial, err := build(1)
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", name, alg, err)
+			}
+			parallel, err := build(w)
+			if err != nil {
+				t.Fatalf("%s/%s workers=%d: %v", name, alg, w, err)
+			}
+			if !reflect.DeepEqual(serial.EdgeIDs, parallel.EdgeIDs) {
+				t.Fatalf("%s/%s: spanner edges differ between Workers=1 and Workers=%d", name, alg, w)
+			}
+			if !reflect.DeepEqual(serial.Stats, parallel.Stats) {
+				t.Fatalf("%s/%s: stats differ between worker counts:\n  1: %+v\n  %d: %+v",
+					name, alg, serial.Stats, w, parallel.Stats)
+			}
+			// The stretch report (the verification-side artifact) must pin too.
+			repS, err := Verify(g, serial, StretchBound(16, 4))
+			if err != nil {
+				t.Fatalf("%s/%s verify serial: %v", name, alg, err)
+			}
+			repP, err := Verify(g, parallel, StretchBound(16, 4))
+			if err != nil {
+				t.Fatalf("%s/%s verify parallel: %v", name, alg, err)
+			}
+			if !reflect.DeepEqual(repS, repP) {
+				t.Fatalf("%s/%s: stretch reports differ between worker counts", name, alg)
+			}
+		}
+	}
+}
+
+func TestWorkerCountInvarianceWHP(t *testing.T) {
+	g := graph.GNP(260, 0.05, graph.UniformWeight(1, 40), 7)
+	serial, whpS, err := GeneralWHP(g, 8, 2, 6, Options{Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, whpP, err := GeneralWHP(g, 8, 2, 6, Options{Seed: 11, Workers: pinWorkers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.EdgeIDs, parallel.EdgeIDs) || !reflect.DeepEqual(serial.Stats, parallel.Stats) {
+		t.Fatal("WHP spanner differs between worker counts")
+	}
+	if !reflect.DeepEqual(whpS, whpP) {
+		t.Fatal("WHP selection statistics differ between worker counts")
+	}
+}
+
+func TestWorkerCountInvarianceUnweighted(t *testing.T) {
+	g := graph.GNP(300, 0.06, graph.UnitWeight, 13)
+	serial, err := Unweighted(g, 3, UnweightedOptions{Seed: 17, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Unweighted(g, 3, UnweightedOptions{Seed: 17, Workers: pinWorkers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.EdgeIDs, parallel.EdgeIDs) || !reflect.DeepEqual(serial.Stats, parallel.Stats) {
+		t.Fatal("unweighted spanner differs between worker counts")
+	}
+}
+
+// TestParallelRepetitionsDeterminism pins the per-shard-stream repetition
+// runner: concurrent repetitions must select the same winner as serial ones.
+func TestParallelRepetitionsDeterminism(t *testing.T) {
+	g := graph.GNP(300, 0.05, graph.UniformWeight(1, 9), 23)
+	serial, err := General(g, 6, 2, Options{Seed: 29, Repetitions: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := General(g, 6, 2, Options{Seed: 29, Repetitions: 8, Workers: pinWorkers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.EdgeIDs, parallel.EdgeIDs) {
+		t.Fatal("repetition winner differs between worker counts")
+	}
+	if serial.Stats.Repetition != parallel.Stats.Repetition {
+		t.Fatalf("winning repetition index differs: %d vs %d",
+			serial.Stats.Repetition, parallel.Stats.Repetition)
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeight, 1)
+	if _, err := General(g, 4, 2, Options{Workers: -1}); err == nil {
+		t.Fatal("General accepted Workers < 0")
+	}
+	if _, err := BaswanaSen(g, 4, Options{Workers: -2}); err == nil {
+		t.Fatal("BaswanaSen accepted Workers < 0")
+	}
+	if _, _, err := GeneralWHP(g, 4, 2, 0, Options{Workers: -1}); err == nil {
+		t.Fatal("GeneralWHP accepted Workers < 0")
+	}
+	unit := graph.Path(4, graph.UnitWeight, 1)
+	if _, err := Unweighted(unit, 2, UnweightedOptions{Workers: -1}); err == nil {
+		t.Fatal("Unweighted accepted Workers < 0")
+	}
+}

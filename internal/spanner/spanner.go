@@ -27,6 +27,7 @@ import (
 
 	"mpcspanner/internal/cluster"
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/par"
 	"mpcspanner/internal/xrand"
 )
 
@@ -41,6 +42,13 @@ type Options struct {
 	// repetitions" mechanism of Theorem 8.1 / Section 6. Zero means 1.
 	Repetitions int
 
+	// Workers sizes the construction's worker pool (internal/par): 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces the serial path, larger values pin the
+	// pool. Equal seeds yield bit-identical spanners, round counts and
+	// stretch reports at every worker count; negative values are rejected
+	// with an error.
+	Workers int
+
 	// MeasureRadius additionally computes the final cluster-tree radii
 	// (hop and weighted), used by the stretch accounting experiments.
 	MeasureRadius bool
@@ -51,6 +59,13 @@ func (o Options) reps() int {
 		return 1
 	}
 	return o.Repetitions
+}
+
+// validate rejects malformed option values with descriptive errors (the
+// facade mirrors this check so misconfiguration fails loudly at either
+// layer rather than silently misbehaving).
+func (o Options) validate() error {
+	return par.CheckWorkers("spanner: Options.Workers", o.Workers)
 }
 
 // Stats reports the structural costs of a run — the quantities the paper's
@@ -102,8 +117,11 @@ func General(g *graph.Graph, k, t int, opt Options) (*Result, error) {
 	if err := validateKT(k, t); err != nil {
 		return nil, err
 	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	return bestOf(opt, func(seed uint64) *Result {
-		return runEngine(g, k, t, seed, engineConfig{measureRadius: opt.MeasureRadius})
+		return runEngine(g, k, t, seed, engineConfig{measureRadius: opt.MeasureRadius, workers: opt.Workers})
 	})
 }
 
@@ -140,10 +158,14 @@ func BaswanaSen(g *graph.Graph, k int, opt Options) (*Result, error) {
 	if err := validateKT(k, 1); err != nil {
 		return nil, err
 	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	return bestOf(opt, func(seed uint64) *Result {
 		return runEngine(g, k, k, seed, engineConfig{
 			classicBS:     true,
 			measureRadius: opt.MeasureRadius,
+			workers:       opt.Workers,
 		})
 	})
 }
@@ -185,18 +207,31 @@ func validateKT(k, t int) error {
 }
 
 // bestOf runs `run` Repetitions times with derived seeds and keeps the
-// smallest spanner (ties: earliest repetition).
+// smallest spanner (ties: earliest repetition). Repetitions execute
+// concurrently on the option's worker pool — each draws its seed from its
+// own per-repetition stream (the per-shard pattern of internal/par), and the
+// winner is reduced order-independently over the index-addressed results,
+// so the outcome is identical at every worker count.
 func bestOf(opt Options, run func(seed uint64) *Result) (*Result, error) {
 	reps := opt.reps()
-	var best *Result
-	for rep := 0; rep < reps; rep++ {
-		seed := opt.Seed
-		if reps > 1 {
-			seed = xrand.Split(opt.Seed, 0x72657073, uint64(rep)).Uint64() // "reps"
-		}
-		r := run(seed)
+	if reps == 1 {
+		r := run(opt.Seed)
+		r.Stats.Repetition = 0
+		return r, nil
+	}
+	// Per-repetition seeds keep the historical "reps"-tagged derivation so
+	// Repetitions > 1 runs reproduce pre-parallelization outputs exactly;
+	// par.Streams packages the same per-shard-stream derivation under its
+	// own tag for new call sites.
+	results := make([]*Result, reps)
+	par.ForCoarse(par.Workers(opt.Workers), reps, func(rep int) {
+		r := run(xrand.Split(opt.Seed, 0x72657073, uint64(rep)).Uint64()) // "reps"
 		r.Stats.Repetition = rep
-		if best == nil || len(r.EdgeIDs) < len(best.EdgeIDs) {
+		results[rep] = r
+	})
+	best := results[0]
+	for _, r := range results[1:] {
+		if len(r.EdgeIDs) < len(best.EdgeIDs) {
 			best = r
 		}
 	}
@@ -210,6 +245,10 @@ type engineConfig struct {
 	classicBS bool
 
 	measureRadius bool
+
+	// workers is the requested pool size (par conventions; resolved in
+	// newEngine).
+	workers int
 }
 
 // sortedUnique sorts ids and removes duplicates in place.

@@ -7,6 +7,7 @@ import (
 	"mpcspanner/internal/cluster"
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/par"
 	"mpcspanner/internal/xrand"
 )
 
@@ -19,6 +20,11 @@ type UnweightedOptions struct {
 	// at n^{γ/2} vertices and the hitting set has expected size
 	// Õ(n^{1−γ/4}). Zero means 1/2.
 	Gamma float64
+
+	// Workers sizes the worker pool (par conventions: 0 = GOMAXPROCS,
+	// 1 = serial); the ball growing and the embedded [BS07] runs fan out
+	// over it. Negative values are rejected.
+	Workers int
 }
 
 // UnweightedStats reports the structural quantities of an Unweighted run.
@@ -82,6 +88,10 @@ func Unweighted(g *graph.Graph, k int, opt UnweightedOptions) (*UnweightedResult
 	if gamma <= 0 || gamma >= 1 {
 		return nil, fmt.Errorf("spanner: gamma must lie in (0,1), got %v", gamma)
 	}
+	if err := par.CheckWorkers("spanner: UnweightedOptions.Workers", opt.Workers); err != nil {
+		return nil, err
+	}
+	workers := par.Workers(opt.Workers)
 
 	n := g.N()
 	st := UnweightedStats{K: k}
@@ -100,10 +110,14 @@ func Unweighted(g *graph.Graph, k int, opt UnweightedOptions) (*UnweightedResult
 		ballCap = 2
 	}
 	st.BallCap = ballCap
+	// The per-vertex balls are independent (the paper grows them in parallel
+	// via graph exponentiation); each vertex writes only its own slot.
 	sparse := make([]bool, n)
-	for v := 0; v < n; v++ {
+	par.For(workers, n, func(v int) {
 		_, truncated := dist.BFSBall(g, v, 4*k, ballCap)
 		sparse[v] = !truncated
+	})
+	for v := 0; v < n; v++ {
 		if sparse[v] {
 			st.SparseCount++
 		} else {
@@ -129,7 +143,7 @@ func Unweighted(g *graph.Graph, k int, opt UnweightedOptions) (*UnweightedResult
 				region[v] = true
 			}
 		}
-		bs, err := BaswanaSen(g, k, Options{Seed: xrand.Split(opt.Seed, 0x627337).Uint64()}) // "bs7"
+		bs, err := BaswanaSen(g, k, Options{Seed: xrand.Split(opt.Seed, 0x627337).Uint64(), Workers: opt.Workers}) // "bs7"
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +235,7 @@ func Unweighted(g *graph.Graph, k int, opt UnweightedOptions) (*UnweightedResult
 			}
 			auxG := graph.MustNew(len(zs), auxEdges)
 			kAux := int(math.Ceil(2 / gamma))
-			auxR, err := BaswanaSen(auxG, kAux, Options{Seed: xrand.Split(opt.Seed, 0x617578).Uint64()}) // "aux"
+			auxR, err := BaswanaSen(auxG, kAux, Options{Seed: xrand.Split(opt.Seed, 0x617578).Uint64(), Workers: opt.Workers}) // "aux"
 			if err != nil {
 				return nil, err
 			}

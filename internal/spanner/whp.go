@@ -5,6 +5,7 @@ import (
 
 	"mpcspanner/internal/cluster"
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/par"
 	"mpcspanner/internal/xrand"
 )
 
@@ -53,11 +54,14 @@ func GeneralWHP(g *graph.Graph, k, t, runs int, opt Options) (*Result, *WHPStats
 	if err := validateKT(k, t); err != nil {
 		return nil, nil, err
 	}
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
 	if runs <= 0 {
 		runs = int(math.Ceil(math.Log2(float64(g.N()+2)))) + 1
 	}
 	res, whp := runEngineWHP(g, k, t, opt.Seed, whpConfig{runs: runs, c1: 4, c2: 4},
-		engineConfig{measureRadius: opt.MeasureRadius})
+		engineConfig{measureRadius: opt.MeasureRadius, workers: opt.Workers})
 	return res, whp, nil
 }
 
@@ -139,6 +143,7 @@ func newEngine(g *graph.Graph, k, t int, seed uint64, cfg engineConfig) *engine 
 	n := g.N()
 	e := &engine{
 		g: g, k: k, t: t, seed: seed, cfg: cfg,
+		workers:      par.Workers(cfg.workers),
 		nSuper:       n,
 		edges:        cluster.FromGraph(g),
 		part:         cluster.NewPartition(n),

@@ -26,6 +26,7 @@ import (
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/mpc"
 	"mpcspanner/internal/oracle"
+	"mpcspanner/internal/par"
 	"mpcspanner/internal/spanner"
 )
 
@@ -109,6 +110,11 @@ type SpannerOptions struct {
 	Seed uint64
 	// Repetitions > 1 keeps the smallest of that many independent runs.
 	Repetitions int
+	// Workers sizes the construction's worker pool: 0 selects GOMAXPROCS
+	// ("as fast as the hardware allows"), 1 forces the serial path, larger
+	// values pin the pool. Equal seeds give bit-identical spanners at every
+	// worker count; negative values are rejected with an error.
+	Workers int
 	// MeasureRadius additionally reports final cluster-tree radii.
 	MeasureRadius bool
 }
@@ -118,9 +124,13 @@ type SpannerResult = spanner.Result
 
 // BuildSpanner constructs a spanner of g with the selected algorithm.
 func BuildSpanner(g *Graph, opt SpannerOptions) (*SpannerResult, error) {
+	if err := par.CheckWorkers("mpcspanner: SpannerOptions.Workers", opt.Workers); err != nil {
+		return nil, err
+	}
 	inner := spanner.Options{
 		Seed:          opt.Seed,
 		Repetitions:   opt.Repetitions,
+		Workers:       opt.Workers,
 		MeasureRadius: opt.MeasureRadius,
 	}
 	switch opt.Algorithm {
@@ -182,12 +192,27 @@ func Verify(g *Graph, r *SpannerResult, maxStretch float64) (dist.StretchReport,
 // MPCResult is the distributed-execution result (rounds, memory, spanner).
 type MPCResult = mpc.Result
 
+// MPCOptions configures BuildSpannerMPCOpts: the machines' memory exponent
+// Gamma and the real Workers pool that executes their local passes.
+type MPCOptions = mpc.Options
+
 // BuildSpannerMPC executes the general algorithm on the simulated
 // sublinear-memory MPC cluster (Theorem 1.1 / Section 6) and reports rounds
 // and memory alongside the spanner, which is bit-identical to
-// BuildSpanner(AlgoGeneral) under the same seed.
+// BuildSpanner(AlgoGeneral) under the same seed. The simulated machines'
+// local passes run on a GOMAXPROCS pool; use BuildSpannerMPCOpts to pin it.
 func BuildSpannerMPC(g *Graph, k, t int, gamma float64, seed uint64) (*MPCResult, error) {
 	return mpc.BuildSpanner(g, k, t, gamma, seed)
+}
+
+// BuildSpannerMPCOpts is BuildSpannerMPC with the full option surface
+// (Workers follows the par conventions; rounds and the spanner are
+// bit-identical at every worker count).
+func BuildSpannerMPCOpts(g *Graph, k, t int, seed uint64, opt MPCOptions) (*MPCResult, error) {
+	if err := par.CheckWorkers("mpcspanner: MPCOptions.Workers", opt.Workers); err != nil {
+		return nil, err
+	}
+	return mpc.BuildSpannerOpts(g, k, t, seed, opt)
 }
 
 // APSPOptions configures the §7 distance-approximation pipeline.
@@ -197,8 +222,14 @@ type APSPOptions = apsp.Options
 type APSPResult = apsp.Result
 
 // ApproxAPSP runs Corollary 1.4: an O(log^{1+o(1)} n)-approximate APSP
-// oracle built in poly(log log n) simulated MPC rounds.
-func ApproxAPSP(g *Graph, opt APSPOptions) (*APSPResult, error) { return apsp.Approx(g, opt) }
+// oracle built in poly(log log n) simulated MPC rounds. APSPOptions.Workers
+// sizes the real pool behind both the build and the serving oracle.
+func ApproxAPSP(g *Graph, opt APSPOptions) (*APSPResult, error) {
+	if err := par.CheckWorkers("mpcspanner: APSPOptions.Workers", opt.Workers); err != nil {
+		return nil, err
+	}
+	return apsp.Approx(g, opt)
+}
 
 // The distance-oracle serving layer (internal/oracle): the §7 regime where
 // the spanner is built once and then serves many queries locally.
@@ -230,9 +261,20 @@ type (
 )
 
 // BuildSpannerCongestedClique runs Theorem 8.1 (w.h.p. size via per-iteration
-// parallel-run selection).
+// parallel-run selection). The simulated nodes' local work runs on a
+// GOMAXPROCS pool; use BuildSpannerCongestedCliqueWorkers to pin it.
 func BuildSpannerCongestedClique(g *Graph, k, t int, seed uint64) (*CCSpannerResult, error) {
 	return cclique.BuildSpanner(g, k, t, seed)
+}
+
+// BuildSpannerCongestedCliqueWorkers is BuildSpannerCongestedClique with an
+// explicit worker pool size (par conventions; bit-identical results at
+// every count).
+func BuildSpannerCongestedCliqueWorkers(g *Graph, k, t int, seed uint64, workers int) (*CCSpannerResult, error) {
+	if err := par.CheckWorkers("mpcspanner: workers", workers); err != nil {
+		return nil, err
+	}
+	return cclique.BuildSpannerOpts(g, k, t, seed, workers)
 }
 
 // ApproxAPSPCongestedClique runs Corollary 1.5: the first sublogarithmic

@@ -1,6 +1,8 @@
 package mpcspanner
 
 import (
+	"reflect"
+	"runtime"
 	"testing"
 
 	"mpcspanner/internal/dist"
@@ -126,5 +128,54 @@ func TestFacadeUnweighted(t *testing.T) {
 	}
 	if r.Size() == 0 {
 		t.Fatal("empty unweighted spanner")
+	}
+}
+
+func TestFacadeWorkersValidation(t *testing.T) {
+	g := Path(6, UnitWeight, 1)
+	if _, err := BuildSpanner(g, SpannerOptions{K: 4, Workers: -1}); err == nil {
+		t.Fatal("BuildSpanner accepted Workers < 0")
+	}
+	if _, err := ApproxAPSP(g, APSPOptions{Workers: -3}); err == nil {
+		t.Fatal("ApproxAPSP accepted Workers < 0")
+	}
+	if _, err := BuildSpannerMPCOpts(g, 4, 2, 1, MPCOptions{Gamma: 0.5, Workers: -1}); err == nil {
+		t.Fatal("BuildSpannerMPCOpts accepted Workers < 0")
+	}
+	if _, err := BuildSpannerCongestedCliqueWorkers(g, 4, 2, 1, -1); err == nil {
+		t.Fatal("BuildSpannerCongestedCliqueWorkers accepted Workers < 0")
+	}
+}
+
+// TestFacadeWorkerCountInvariance pins the facade-level determinism
+// contract end to end: a serial and a parallel run of every entry point
+// produce identical artifacts.
+func TestFacadeWorkerCountInvariance(t *testing.T) {
+	g := GNP(300, 0.05, UniformWeight(1, 20), 3)
+	w := runtime.NumCPU()
+	if w < 4 {
+		w = 4
+	}
+	serial, err := BuildSpanner(g, SpannerOptions{K: 8, T: 2, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := BuildSpanner(g, SpannerOptions{K: 8, T: 2, Seed: 5, Workers: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("facade spanners differ between worker counts")
+	}
+	apsS, err := ApproxAPSP(g, APSPOptions{Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsP, err := ApproxAPSP(g, APSPOptions{Seed: 9, Workers: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(apsS.SpannerEdgeIDs, apsP.SpannerEdgeIDs) || apsS.Rounds != apsP.Rounds {
+		t.Fatal("facade APSP runs differ between worker counts")
 	}
 }
