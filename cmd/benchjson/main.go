@@ -3,29 +3,41 @@
 // profiles against a regression threshold. It exists so CI needs no
 // third-party benchstat dependency.
 //
-// Convert (reads bench output from stdin):
+// Convert (reads bench output from stdin; -benchmem columns, when present,
+// are recorded as bytes_per_op / allocs_per_op):
 //
-//	go test -run '^$' -bench . -benchtime 3x -count 3 ./... | benchjson -out BENCH_spanner.json
+//	go test -run '^$' -bench . -benchtime 3x -count 3 -benchmem ./... | benchjson -out BENCH_spanner.json
 //
-// Compare (exit 1 if any benchmark present in both profiles slowed down by
-// more than the threshold factor; flags must precede the file arguments,
-// as Go's flag parsing stops at the first positional):
+// Compare (exit 1 if any benchmark present in both profiles slowed down —
+// or allocated more — by more than the threshold factor; flags must precede
+// the file arguments, as Go's flag parsing stops at the first positional):
 //
-//	benchjson -compare -threshold 1.25 BENCH_spanner.json BENCH_new.json
+//	benchjson -compare -threshold 1.25 [-md summary.md] BENCH_spanner.json BENCH_new.json
+//
+// -md additionally writes the comparison as a markdown delta table (CI
+// appends it to the job summary so a regression is diagnosable without
+// rerunning locally).
 //
 // Profiles key benchmarks by their name with the trailing -GOMAXPROCS
-// suffix stripped, and record the minimum ns/op over all samples of a name
-// (the least-noise estimator for -count repeats). Comparison only considers
-// names present in both profiles, so machines with different core counts —
-// which emit different workers=N sub-benchmarks — compare on their shared
-// serial rows; names missing from either side are reported as warnings.
+// suffix stripped, and record the minimum ns/op (and minimum B/op and
+// allocs/op) over all samples of a name (the least-noise estimator for
+// -count repeats). Comparison only considers names present in both
+// profiles, so machines with different core counts — which emit different
+// workers=N sub-benchmarks — compare on their shared serial rows; names
+// missing from either side are reported as warnings. Alloc gating is
+// additionally skipped for rows whose baseline predates the -benchmem
+// schema (no allocs_per_op recorded) and for regressions of fewer than
+// allocSlack objects — a 0→2 allocs/op jump on a near-allocation-free
+// benchmark is noise, not a leak.
 //
 // Raw ns/op is only comparable on like hardware, so profiles record the
 // `cpu:` line go test prints. When the two profiles come from different
 // CPUs the comparison report still prints but the gate exits 0 with a
 // calibration notice — commit the freshly produced profile as the new
 // baseline to arm the gate on that hardware. On matching CPUs the
-// threshold is enforced strictly.
+// threshold is enforced strictly. Alloc counts are hardware-independent in
+// principle, but scheduling-dependent in practice (pool misses, goroutine
+// closures), so they gate under the same like-hardware rule.
 package main
 
 import (
@@ -40,10 +52,16 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark's recorded cost.
+// Entry is one benchmark's recorded cost. HasMem marks rows measured with
+// -benchmem; when it is false BytesPerOp/AllocsPerOp hold zero values and
+// carry no meaning (profiles predating the memory schema omit all three
+// fields via omitempty).
 type Entry struct {
-	NsPerOp float64 `json:"ns_per_op"`
-	Samples int     `json:"samples"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	Samples     int     `json:"samples"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	HasMem      bool    `json:"has_mem,omitempty"`
 }
 
 // Profile is the serialized BENCH_*.json shape.
@@ -56,21 +74,29 @@ type Profile struct {
 // may be fractional, e.g. "0.5 ns/op").
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
 
+// memCols matches the -benchmem suffix "... 456 B/op  7 allocs/op".
+var memCols = regexp.MustCompile(`([0-9.]+(?:e[+-]?\d+)?) B/op\s+([0-9.]+(?:e[+-]?\d+)?) allocs/op`)
+
 // procSuffix strips the trailing -GOMAXPROCS decoration go test appends, so
 // profiles from machines with different core counts share keys.
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
+// allocSlack is the absolute allocs/op increase below which the alloc gate
+// never fires: ratio thresholds are meaningless against a ~0 baseline.
+const allocSlack = 16.0
+
 func main() {
 	out := flag.String("out", "", "write the converted profile to this file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two profiles: benchjson -compare baseline.json new.json")
-	threshold := flag.Float64("threshold", 1.25, "fail -compare when new/baseline ns/op exceeds this factor")
+	threshold := flag.Float64("threshold", 1.25, "fail -compare when new/baseline ns/op (or allocs/op) exceeds this factor")
+	md := flag.String("md", "", "with -compare, also write a markdown delta table to this file")
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
-			fatalf("usage: benchjson -compare [-threshold 1.25] baseline.json new.json")
+			fatalf("usage: benchjson -compare [-threshold 1.25] [-md summary.md] baseline.json new.json")
 		}
-		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, *md))
 	}
 	if flag.NArg() != 0 {
 		fatalf("usage: benchjson [-out file] < bench-output")
@@ -94,12 +120,20 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(prof.Benchmarks), *out)
 }
 
-// parse folds bench output into a profile, keeping the minimum ns/op per
-// (suffix-stripped) name.
+// parse folds bench output into a profile, keeping the minimum ns/op (and
+// minimum memory columns) per (suffix-stripped) name.
 func parse(f *os.File) Profile {
-	prof := Profile{Benchmarks: map[string]Entry{}}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	prof := parseLines(sc)
+	if err := sc.Err(); err != nil {
+		fatalf("benchjson: reading stdin: %v", err)
+	}
+	return prof
+}
+
+func parseLines(sc *bufio.Scanner) Profile {
+	prof := Profile{Benchmarks: map[string]Entry{}}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok && prof.CPU == "" {
@@ -119,11 +153,21 @@ func parse(f *os.File) Profile {
 		if !ok || ns < e.NsPerOp {
 			e.NsPerOp = ns
 		}
+		if mm := memCols.FindStringSubmatch(line); mm != nil {
+			bytes, errB := strconv.ParseFloat(mm[1], 64)
+			allocs, errA := strconv.ParseFloat(mm[2], 64)
+			if errB == nil && errA == nil {
+				if !e.HasMem || bytes < e.BytesPerOp {
+					e.BytesPerOp = bytes
+				}
+				if !e.HasMem || allocs < e.AllocsPerOp {
+					e.AllocsPerOp = allocs
+				}
+				e.HasMem = true
+			}
+		}
 		e.Samples++
 		prof.Benchmarks[name] = e
-	}
-	if err := sc.Err(); err != nil {
-		fatalf("benchjson: reading stdin: %v", err)
 	}
 	return prof
 }
@@ -140,44 +184,113 @@ func load(path string) Profile {
 	return p
 }
 
-// runCompare prints a per-benchmark report and returns the process exit
-// code: 1 if any shared benchmark regressed beyond the threshold.
-func runCompare(basePath, newPath string, threshold float64) int {
-	base, fresh := load(basePath), load(newPath)
+// row is one comparison line, retained so the text report and the markdown
+// table render from the same verdicts.
+type row struct {
+	name           string
+	status         string // "ok", "FAIL", "WARN", "NEW"
+	base, fresh    Entry
+	ratio          float64 // ns/op ratio
+	allocRatio     float64 // allocs/op ratio when both sides carry mem data
+	hasAllocs      bool
+	timeRegressed  bool
+	allocRegressed bool
+}
+
+// compareProfiles builds the per-benchmark verdicts.
+func compareProfiles(base, fresh Profile, threshold float64) []row {
 	var names []string
 	for name := range base.Benchmarks {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-
-	regressed := 0
-	compared := 0
+	var rows []row
 	for _, name := range names {
 		b := base.Benchmarks[name]
 		n, ok := fresh.Benchmarks[name]
 		if !ok {
-			fmt.Printf("WARN  %-70s missing from %s\n", name, newPath)
+			rows = append(rows, row{name: name, status: "WARN", base: b})
+			continue
+		}
+		r := row{name: name, base: b, fresh: n, ratio: n.NsPerOp / b.NsPerOp, status: "ok"}
+		if r.ratio > threshold {
+			r.timeRegressed = true
+		}
+		if b.HasMem && n.HasMem {
+			r.hasAllocs = true
+			if b.AllocsPerOp > 0 {
+				r.allocRatio = n.AllocsPerOp / b.AllocsPerOp
+				r.allocRegressed = r.allocRatio > threshold && n.AllocsPerOp-b.AllocsPerOp > allocSlack
+			} else {
+				// Zero-alloc baseline: the true ratio is infinite, so no
+				// finite threshold may waive the regression — gate purely on
+				// the absolute jump. The display ratio is jump+1 (what the
+				// ratio would be against a 1-alloc baseline).
+				r.allocRatio = n.AllocsPerOp + 1
+				r.allocRegressed = n.AllocsPerOp > allocSlack
+			}
+		}
+		if r.timeRegressed || r.allocRegressed {
+			r.status = "FAIL"
+		}
+		rows = append(rows, r)
+	}
+	var extra []string
+	for name := range fresh.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		rows = append(rows, row{name: name, status: "NEW", fresh: fresh.Benchmarks[name]})
+	}
+	return rows
+}
+
+// runCompare prints a per-benchmark report (and optionally a markdown table)
+// and returns the process exit code: 1 if any shared benchmark regressed
+// beyond the threshold on like hardware.
+func runCompare(basePath, newPath string, threshold float64, mdPath string) int {
+	base, fresh := load(basePath), load(newPath)
+	rows := compareProfiles(base, fresh, threshold)
+
+	regressed, compared := 0, 0
+	for _, r := range rows {
+		switch r.status {
+		case "WARN":
+			fmt.Printf("WARN  %-70s missing from %s\n", r.name, newPath)
+			continue
+		case "NEW":
+			fmt.Printf("NEW   %-70s %12.0f ns/op (not in baseline)\n", r.name, r.fresh.NsPerOp)
 			continue
 		}
 		compared++
-		ratio := n.NsPerOp / b.NsPerOp
-		status := "ok   "
-		if ratio > threshold {
-			status = "FAIL "
+		if r.status == "FAIL" {
 			regressed++
 		}
-		fmt.Printf("%s %-70s %12.0f -> %12.0f ns/op  (%.2fx)\n", status, name, b.NsPerOp, n.NsPerOp, ratio)
+		line := fmt.Sprintf("%-5s %-70s %12.0f -> %12.0f ns/op  (%.2fx)", r.status, r.name, r.base.NsPerOp, r.fresh.NsPerOp, r.ratio)
+		if r.hasAllocs {
+			line += fmt.Sprintf("  %10.0f -> %10.0f allocs/op", r.base.AllocsPerOp, r.fresh.AllocsPerOp)
+			if r.allocRegressed {
+				line += " (ALLOC REGRESSION)"
+			}
+		}
+		fmt.Println(line)
 	}
-	for name := range fresh.Benchmarks {
-		if _, ok := base.Benchmarks[name]; !ok {
-			fmt.Printf("NEW   %-70s %12.0f ns/op (not in baseline)\n", name, fresh.Benchmarks[name].NsPerOp)
+
+	sameHW := !(base.CPU != "" && fresh.CPU != "" && base.CPU != fresh.CPU)
+	if mdPath != "" {
+		if err := os.WriteFile(mdPath, []byte(markdownReport(rows, base.CPU, fresh.CPU, threshold, sameHW)), 0o644); err != nil {
+			fatalf("benchjson: writing %s: %v", mdPath, err)
 		}
 	}
+
 	if compared == 0 {
 		fmt.Println("FAIL  no shared benchmarks between the profiles")
 		return 1
 	}
-	if base.CPU != "" && fresh.CPU != "" && base.CPU != fresh.CPU {
+	if !sameHW {
 		fmt.Printf("NOTE  baseline CPU %q != current CPU %q: raw ns/op is not comparable across hardware.\n", base.CPU, fresh.CPU)
 		fmt.Println("NOTE  gate is ADVISORY on this run — commit the fresh profile as the baseline to arm it on this hardware.")
 		if regressed > 0 {
@@ -191,6 +304,53 @@ func runCompare(basePath, newPath string, threshold float64) int {
 	}
 	fmt.Printf("ok    %d shared benchmarks within %.2fx of the baseline\n", compared, threshold)
 	return 0
+}
+
+// markdownReport renders the verdicts as the old-vs-new delta table CI posts
+// to the job summary.
+func markdownReport(rows []row, baseCPU, freshCPU string, threshold float64, sameHW bool) string {
+	var sb strings.Builder
+	sb.WriteString("## Bench regression report\n\n")
+	fmt.Fprintf(&sb, "Threshold: %.2fx · baseline CPU: `%s` · this run: `%s`\n\n", threshold, orDash(baseCPU), orDash(freshCPU))
+	if !sameHW {
+		sb.WriteString("> ⚠️ Hardware mismatch — gate advisory; the baseline recalibrates on push to main.\n\n")
+	}
+	sb.WriteString("| status | benchmark | ns/op (old → new) | Δtime | allocs/op (old → new) |\n")
+	sb.WriteString("|---|---|---|---|---|\n")
+	for _, r := range rows {
+		switch r.status {
+		case "WARN":
+			fmt.Fprintf(&sb, "| ⚠️ missing | `%s` | %.0f → — | — | — |\n", r.name, r.base.NsPerOp)
+		case "NEW":
+			allocs := "—"
+			if r.fresh.HasMem {
+				allocs = fmt.Sprintf("— → %.0f", r.fresh.AllocsPerOp)
+			}
+			fmt.Fprintf(&sb, "| 🆕 new | `%s` | — → %.0f | — | %s |\n", r.name, r.fresh.NsPerOp, allocs)
+		default:
+			icon := "✅"
+			if r.status == "FAIL" {
+				icon = "❌"
+			}
+			allocs := "—"
+			if r.hasAllocs {
+				allocs = fmt.Sprintf("%.0f → %.0f", r.base.AllocsPerOp, r.fresh.AllocsPerOp)
+				if r.allocRegressed {
+					allocs += " ❌"
+				}
+			}
+			fmt.Fprintf(&sb, "| %s | `%s` | %.0f → %.0f | %.2fx | %s |\n",
+				icon, r.name, r.base.NsPerOp, r.fresh.NsPerOp, r.ratio, allocs)
+		}
+	}
+	return sb.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMPCBuild/n=20k/k=16/t=4/workers=1-8   1   250000000 ns/op   147.0 mpc-rounds   38716024 B/op   440 allocs/op
+BenchmarkMPCBuild/n=20k/k=16/t=4/workers=1-8   1   240000000 ns/op   147.0 mpc-rounds   38700000 B/op   444 allocs/op
+BenchmarkSimSortByKey-8                        3    11367015 ns/op          0 B/op        0 allocs/op
+BenchmarkOldSchema                             5     1000000 ns/op
+PASS
+`
+
+func parseString(t *testing.T, s string) Profile {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(s))
+	return parseLines(sc)
+}
+
+func TestParseRecordsMemColumnsAndMinimum(t *testing.T) {
+	prof := parseString(t, sampleBench)
+	if prof.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", prof.CPU)
+	}
+	e, ok := prof.Benchmarks["BenchmarkMPCBuild/n=20k/k=16/t=4/workers=1"]
+	if !ok {
+		t.Fatalf("missing MPCBuild entry; have %v", prof.Benchmarks)
+	}
+	if e.NsPerOp != 240000000 {
+		t.Errorf("ns_per_op = %v, want the 240000000 minimum", e.NsPerOp)
+	}
+	if !e.HasMem || e.AllocsPerOp != 440 || e.BytesPerOp != 38700000 {
+		t.Errorf("mem columns = (%v B, %v allocs, hasMem=%v), want minimums (38700000, 440, true)", e.BytesPerOp, e.AllocsPerOp, e.HasMem)
+	}
+	if e.Samples != 2 {
+		t.Errorf("samples = %d, want 2", e.Samples)
+	}
+	zero := prof.Benchmarks["BenchmarkSimSortByKey"]
+	if !zero.HasMem || zero.AllocsPerOp != 0 {
+		t.Errorf("zero-alloc row must record has_mem with 0 allocs, got %+v", zero)
+	}
+	old := prof.Benchmarks["BenchmarkOldSchema"]
+	if old.HasMem {
+		t.Errorf("row without -benchmem columns must not claim mem data: %+v", old)
+	}
+}
+
+func mkProfile(cpu string, entries map[string]Entry) Profile {
+	return Profile{CPU: cpu, Benchmarks: entries}
+}
+
+func TestCompareGatesTimeAndAllocRegressions(t *testing.T) {
+	base := mkProfile("x", map[string]Entry{
+		"BenchmarkFast":     {NsPerOp: 100, HasMem: true, AllocsPerOp: 1000, BytesPerOp: 10},
+		"BenchmarkSlow":     {NsPerOp: 100, HasMem: true, AllocsPerOp: 1000, BytesPerOp: 10},
+		"BenchmarkLeaky":    {NsPerOp: 100, HasMem: true, AllocsPerOp: 1000, BytesPerOp: 10},
+		"BenchmarkTinyJump": {NsPerOp: 100, HasMem: true, AllocsPerOp: 0, BytesPerOp: 0},
+		"BenchmarkNoMem":    {NsPerOp: 100},
+		"BenchmarkGone":     {NsPerOp: 100},
+	})
+	fresh := mkProfile("x", map[string]Entry{
+		"BenchmarkFast":     {NsPerOp: 90, HasMem: true, AllocsPerOp: 900, BytesPerOp: 10},
+		"BenchmarkSlow":     {NsPerOp: 200, HasMem: true, AllocsPerOp: 1000, BytesPerOp: 10},
+		"BenchmarkLeaky":    {NsPerOp: 100, HasMem: true, AllocsPerOp: 2000, BytesPerOp: 10},
+		"BenchmarkTinyJump": {NsPerOp: 100, HasMem: true, AllocsPerOp: 4, BytesPerOp: 64},
+		"BenchmarkNoMem":    {NsPerOp: 100, HasMem: true, AllocsPerOp: 5},
+		"BenchmarkNew":      {NsPerOp: 50},
+	})
+	rows := compareProfiles(base, fresh, 1.25)
+	got := map[string]row{}
+	for _, r := range rows {
+		got[r.name] = r
+	}
+	if got["BenchmarkFast"].status != "ok" {
+		t.Errorf("Fast: %+v, want ok", got["BenchmarkFast"])
+	}
+	if r := got["BenchmarkSlow"]; r.status != "FAIL" || !r.timeRegressed || r.allocRegressed {
+		t.Errorf("Slow must fail on time only: %+v", r)
+	}
+	if r := got["BenchmarkLeaky"]; r.status != "FAIL" || !r.allocRegressed || r.timeRegressed {
+		t.Errorf("Leaky must fail on allocs only: %+v", r)
+	}
+	if r := got["BenchmarkTinyJump"]; r.status != "ok" {
+		t.Errorf("TinyJump (0→4 allocs, under the absolute slack) must pass: %+v", r)
+	}
+	// Zero-alloc baseline with a jump beyond the slack: no finite threshold
+	// may waive it.
+	zb := mkProfile("x", map[string]Entry{"BenchmarkZeroBase": {NsPerOp: 100, HasMem: true}})
+	zf := mkProfile("x", map[string]Entry{"BenchmarkZeroBase": {NsPerOp: 100, HasMem: true, AllocsPerOp: 25}})
+	zr := compareProfiles(zb, zf, 30)[0]
+	if zr.status != "FAIL" || !zr.allocRegressed {
+		t.Errorf("0→25 allocs must fail even at threshold 30: %+v", zr)
+	}
+	if r := got["BenchmarkNoMem"]; r.status != "ok" || r.hasAllocs {
+		t.Errorf("NoMem baseline must skip the alloc gate: %+v", r)
+	}
+	if got["BenchmarkGone"].status != "WARN" || got["BenchmarkNew"].status != "NEW" {
+		t.Errorf("Gone/New classification wrong: %+v / %+v", got["BenchmarkGone"], got["BenchmarkNew"])
+	}
+}
+
+func TestMarkdownReportRendersAllRowKinds(t *testing.T) {
+	base := mkProfile("cpuA", map[string]Entry{
+		"BenchmarkA": {NsPerOp: 100, HasMem: true, AllocsPerOp: 10},
+		"BenchmarkB": {NsPerOp: 100},
+	})
+	fresh := mkProfile("cpuA", map[string]Entry{
+		"BenchmarkA": {NsPerOp: 300, HasMem: true, AllocsPerOp: 10},
+		"BenchmarkC": {NsPerOp: 5, HasMem: true, AllocsPerOp: 0},
+	})
+	md := markdownReport(compareProfiles(base, fresh, 1.25), "cpuA", "cpuA", 1.25, true)
+	for _, want := range []string{"| ❌ |", "⚠️ missing", "🆕 new", "3.00x", "`BenchmarkA`"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown report missing %q:\n%s", want, md)
+		}
+	}
+	mismatch := markdownReport(nil, "cpuA", "cpuB", 1.25, false)
+	if !strings.Contains(mismatch, "Hardware mismatch") {
+		t.Errorf("hardware-mismatch notice missing:\n%s", mismatch)
+	}
+}

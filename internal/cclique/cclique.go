@@ -72,13 +72,15 @@ type Message struct {
 // Lenzen routes an arbitrary message instance in which every node sends at
 // most n and receives at most n words, in exactly 2 rounds [Len13]. It
 // validates both budgets and returns the messages grouped by destination (in
-// stable per-destination order).
+// stable per-destination order; the per-destination slices share one backing
+// array and must be treated as read-only).
 //
 // Budget counting is the per-node message generation work: it shards the
 // message list over the worker pool with per-shard send/receive histograms
 // that sum in shard order, so validation outcomes are identical at every
-// worker count. Destination grouping stays serial to preserve the stable
-// per-destination order.
+// worker count. Destination grouping is a radix-keyed stable shuffle on the
+// destination id (par.RadixSortKeys), so it parallelizes too while keeping
+// exactly the order the old serial append produced.
 func (c *Clique) Lenzen(msgs []Message) ([][]Message, error) {
 	// Shard the counting only when the instance is dense enough to amortize
 	// the per-shard histograms and their O(workers·n) merge; below that the
@@ -141,8 +143,20 @@ func (c *Clique) Lenzen(msgs []Message) ([][]Message, error) {
 		}
 	}
 	out := make([][]Message, c.n)
-	for _, m := range msgs {
-		out[m.To] = append(out[m.To], m)
+	if len(msgs) > 0 {
+		// Stable radix shuffle by destination: equal destinations keep their
+		// input order, so out[to] is identical to what appending in input
+		// order produced, at every worker count.
+		idx := par.SortIndexByKey(c.workers, len(msgs), func(i int) uint64 { return uint64(msgs[i].To) })
+		grouped := make([]Message, len(msgs))
+		par.For(c.workers, len(msgs), func(i int) { grouped[i] = msgs[idx[i]] })
+		lo := 0
+		for hi := 1; hi <= len(grouped); hi++ {
+			if hi == len(grouped) || grouped[hi].To != grouped[lo].To {
+				out[grouped[lo].To] = grouped[lo:hi:hi]
+				lo = hi
+			}
+		}
 	}
 	c.rounds += 2
 	c.routes++

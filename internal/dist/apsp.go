@@ -11,8 +11,10 @@ import (
 // APSP materializes the full all-pairs distance matrix of g: row v is
 // Dijkstra(g, v). Sources are fanned out over a worker pool of
 // runtime.NumCPU() goroutines — the Graph is immutable and safe for
-// concurrent readers, so the rows are embarrassingly parallel. Memory is
-// n²; this is for verification-scale graphs, as the §7 pipeline notes.
+// concurrent readers, so the rows are embarrassingly parallel, and each
+// worker's runs draw their frontier heaps from the per-size scratch pool,
+// so a row costs exactly its own n-float allocation. Memory is n²; this is
+// for verification-scale graphs, as the §7 pipeline notes.
 func APSP(g *graph.Graph) [][]float64 {
 	return apspWorkers(g, runtime.NumCPU())
 }

@@ -26,6 +26,22 @@ func BenchmarkDijkstra(b *testing.B) {
 	}
 }
 
+// BenchmarkDijkstraWarm is the pooled-scratch steady state the acceptance
+// criteria pin: the caller reuses its row and the run draws its heap from
+// the per-size pool, so allocs/op must report ~0.
+func BenchmarkDijkstraWarm(b *testing.B) {
+	g := benchGraph(10_000)
+	buf := make([]float64, g.N())
+	DijkstraInto(g, 0, buf) // warm the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := DijkstraInto(g, i%g.N(), buf); len(d) != g.N() {
+			b.Fatal("bad result")
+		}
+	}
+}
+
 func BenchmarkMultiSourceDijkstra(b *testing.B) {
 	g := benchGraph(50_000)
 	sources := make([]int, 64)

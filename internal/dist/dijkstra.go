@@ -2,67 +2,34 @@ package dist
 
 import "mpcspanner/internal/graph"
 
-// heapItem is a (distance, vertex) pair on the Dijkstra frontier.
-type heapItem struct {
-	d float64
-	v int
-}
-
-// minHeap is a binary heap of heapItems ordered by distance. Stale entries
-// are tolerated (lazy deletion): a popped item whose distance exceeds the
-// settled label is skipped by the caller. This beats container/heap by
-// avoiding interface dispatch on the hot path.
-type minHeap []heapItem
-
-func (h *minHeap) push(it heapItem) {
-	*h = append(*h, it)
-	i := len(*h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if (*h)[p].d <= (*h)[i].d {
-			break
-		}
-		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
-		i = p
-	}
-}
-
-func (h *minHeap) pop() heapItem {
-	old := *h
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	*h = old[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		s := i
-		if l < n && old[l].d < old[s].d {
-			s = l
-		}
-		if r < n && old[r].d < old[s].d {
-			s = r
-		}
-		if s == i {
-			break
-		}
-		old[i], old[s] = old[s], old[i]
-		i = s
-	}
-	return top
-}
-
 // Dijkstra returns the shortest-path distances from src to every vertex of
-// g. Unreachable vertices get Inf.
+// g. Unreachable vertices get Inf. The returned slice is freshly allocated
+// and owned by the caller; the run's internal state (the frontier heap)
+// comes from the per-size scratch pool, so repeated calls allocate only the
+// row they return. Callers that also own the row's memory — the warm paths
+// of the oracle and the APSP verifiers — use DijkstraInto and allocate
+// nothing.
 func Dijkstra(g *graph.Graph, src int) []float64 {
-	d := make([]float64, g.N())
+	return DijkstraInto(g, src, nil)
+}
+
+// DijkstraInto is Dijkstra writing into d, which is returned. A d of the
+// wrong length (nil included) is replaced by a fresh allocation; passing a
+// reused g.N()-sized buffer makes the steady-state call allocation-free —
+// the pooled-scratch contract the warm-Dijkstra benchmark pins.
+func DijkstraInto(g *graph.Graph, src int, d []float64) []float64 {
+	n := g.N()
+	if len(d) != n {
+		d = make([]float64, n)
+	}
 	for i := range d {
 		d[i] = Inf
 	}
 	d[src] = 0
-	h := make(minHeap, 0, 64)
-	h.push(heapItem{0, src})
-	dijkstraRun(g, d, &h, nil, nil)
+	s := acquire(n)
+	s.heap.push(0, int32(src))
+	s.run(g, d, nil)
+	s.release()
 	return d
 }
 
@@ -70,7 +37,8 @@ func Dijkstra(g *graph.Graph, src int) []float64 {
 // distance to the nearest source). It returns the distance array and, for
 // every vertex, the index into sources of the source that settled it, or -1
 // for unreachable vertices. With unit weights the distances are hop counts,
-// which is how the Appendix B ball/hitting-set machinery uses it.
+// which is how the Appendix B ball/hitting-set machinery uses it. Both
+// returned arrays are caller-owned; the frontier heap is pooled.
 func MultiSourceDijkstra(g *graph.Graph, sources []int) (dist []float64, nearest []int) {
 	n := g.N()
 	dist = make([]float64, n)
@@ -79,64 +47,102 @@ func MultiSourceDijkstra(g *graph.Graph, sources []int) (dist []float64, nearest
 		dist[i] = Inf
 		nearest[i] = -1
 	}
-	h := make(minHeap, 0, len(sources)+64)
-	for i, s := range sources {
-		if nearest[s] == -1 { // duplicate sources: first occurrence wins
-			dist[s] = 0
-			nearest[s] = i
-			h.push(heapItem{0, s})
+	s := acquire(n)
+	for i, src := range sources {
+		if nearest[src] == -1 { // duplicate sources: first occurrence wins
+			dist[src] = 0
+			nearest[src] = i
+			s.heap.push(0, int32(src))
 		}
 	}
-	dijkstraRun(g, dist, &h, nearest, nil)
+	s.run(g, dist, nearest)
+	s.release()
 	return dist, nearest
 }
 
-// dijkstraRun drains the heap, settling labels into d. If origin is non-nil
-// it is propagated along relaxed arcs (multi-source attribution). If want is
-// non-nil, the run stops early once every vertex in want is settled; want is
-// consumed (vertices removed as they settle).
-func dijkstraRun(g *graph.Graph, d []float64, h *minHeap, origin []int, want map[int]bool) {
-	for len(*h) > 0 {
+// run drains the heap, settling labels into d. If origin is non-nil it is
+// propagated along relaxed arcs (multi-source attribution).
+func (s *scratch) run(g *graph.Graph, d []float64, origin []int) {
+	h := &s.heap
+	for h.len() > 0 {
 		it := h.pop()
-		if it.d > d[it.v] {
+		v := int(it.v)
+		if it.d > d[v] {
 			continue // stale entry
 		}
-		if want != nil {
-			delete(want, it.v)
-			if len(want) == 0 {
-				return
-			}
-		}
-		for _, a := range g.Adj(it.v) {
+		for _, a := range g.Adj(v) {
 			nd := it.d + g.Edge(a.Edge).W
 			if nd < d[a.To] {
 				d[a.To] = nd
 				if origin != nil {
-					origin[a.To] = origin[it.v]
+					origin[a.To] = origin[v]
 				}
-				h.push(heapItem{nd, a.To})
+				h.push(nd, int32(a.To))
 			}
 		}
 	}
 }
 
-// dijkstraTo returns the distances from src, computed only far enough to
-// settle every vertex in targets — the early-exit single-source query behind
-// the sampled stretch estimators. Entries beyond the settled frontier are an
-// upper bound or Inf; only the targets' entries are guaranteed exact.
-func dijkstraTo(g *graph.Graph, src int, targets []int) []float64 {
-	d := make([]float64, g.N())
+// runTo is run with early exit: it stops once every vertex stamped with the
+// scratch's current mark epoch has settled. remaining is the stamp count
+// (see wantTargets).
+func (s *scratch) runTo(g *graph.Graph, d []float64, remaining int) {
+	h := &s.heap
+	for h.len() > 0 && remaining > 0 {
+		it := h.pop()
+		v := int(it.v)
+		if it.d > d[v] {
+			continue
+		}
+		if s.mark[v] == s.gen {
+			s.mark[v] = s.gen - 1
+			remaining--
+			if remaining == 0 {
+				return
+			}
+		}
+		for _, a := range g.Adj(v) {
+			nd := it.d + g.Edge(a.Edge).W
+			if nd < d[a.To] {
+				d[a.To] = nd
+				h.push(nd, int32(a.To))
+			}
+		}
+	}
+}
+
+// dijkstraFull computes the full distance row from src into the scratch's
+// pooled row, using the scratch's own heap — the fully pooled form the
+// stretch estimators run per sampled source. The returned slice is the
+// pooled row (valid until the next run on this scratch or its release).
+func (s *scratch) dijkstraFull(g *graph.Graph, src int) []float64 {
+	d := s.dist
 	for i := range d {
 		d[i] = Inf
 	}
 	d[src] = 0
-	want := make(map[int]bool, len(targets))
-	for _, t := range targets {
-		want[t] = true
+	s.heap.reset()
+	s.heap.push(0, int32(src))
+	s.run(g, d, nil)
+	return d
+}
+
+// dijkstraTo computes the distances from src into the scratch's pooled row,
+// only far enough to settle every vertex in targets — the early-exit
+// single-source query behind the sampled stretch estimators. Entries beyond
+// the settled frontier are an upper bound or Inf; only the targets' entries
+// are guaranteed exact. The returned slice is the pooled row: it is valid
+// until the scratch's next run or its release, which is why this stays a
+// package-internal primitive.
+func (s *scratch) dijkstraTo(g *graph.Graph, src int, targets []int) []float64 {
+	d := s.dist
+	for i := range d {
+		d[i] = Inf
 	}
-	delete(want, src)
-	h := make(minHeap, 0, 64)
-	h.push(heapItem{0, src})
-	dijkstraRun(g, d, &h, nil, want)
+	d[src] = 0
+	remaining := s.wantTargets(targets, src)
+	s.heap.reset()
+	s.heap.push(0, int32(src))
+	s.runTo(g, d, remaining)
 	return d
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package dist
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where sync.Pool randomly drops entries by design — so pooled paths cannot
+// assert zero allocations there.
+const raceEnabled = true

@@ -55,8 +55,10 @@ func SampledEdgeStretch(g, h *graph.Graph, samples int, seed uint64) (StretchRep
 // edgeRatios computes d_h(u,v)/w for the given g-edge ids (duplicates
 // allowed). Queries are grouped by source endpoint so each distinct source
 // costs one early-exit Dijkstra in h, and the per-source runs are fanned out
-// over the worker pool. Ratio slots are written by index, so the output is
-// independent of scheduling.
+// over the worker pool, each drawing its distance row and frontier heap from
+// the scratch pool (the row is read and discarded, so nothing per-source
+// survives). Ratio slots are written by index, so the output is independent
+// of scheduling.
 func edgeRatios(g, h *graph.Graph, ids []int) []float64 {
 	bySrc := make(map[int][]int) // source vertex -> positions in ids
 	for pos, id := range ids {
@@ -74,11 +76,13 @@ func edgeRatios(g, h *graph.Graph, ids []int) []float64 {
 		for j, pos := range positions {
 			targets[j] = g.Edge(ids[pos]).V
 		}
-		d := dijkstraTo(h, src, targets)
+		s := acquire(h.N())
+		d := s.dijkstraTo(h, src, targets)
 		for _, pos := range positions {
 			e := g.Edge(ids[pos])
 			ratios[pos] = d[e.V] / e.W
 		}
+		s.release()
 	})
 	return ratios
 }
@@ -137,8 +141,11 @@ func pairRatios(g, h *graph.Graph, sources int, seed uint64) ([]float64, error) 
 	perSource := make([][]float64, sources)
 	parallelFor(sources, func(i int) {
 		s := srcs[i]
-		dg := Dijkstra(g, s)
-		dh := Dijkstra(h, s)
+		// Both rows are read once and discarded, so they run in pooled
+		// scratch rows instead of two fresh n-sized allocations per source.
+		sg, sh := acquire(n), acquire(n)
+		dg := sg.dijkstraFull(g, s)
+		dh := sh.dijkstraFull(h, s)
 		var rs []float64
 		for v := range dg {
 			if v == s || dg[v] == Inf {
@@ -147,6 +154,8 @@ func pairRatios(g, h *graph.Graph, sources int, seed uint64) ([]float64, error) 
 			rs = append(rs, dh[v]/dg[v])
 		}
 		perSource[i] = rs
+		sg.release()
+		sh.release()
 	})
 	var ratios []float64
 	for _, rs := range perSource {

@@ -8,6 +8,44 @@ import (
 	"mpcspanner/internal/graph"
 )
 
+// BenchmarkSimSortByKey is the keyed-shuffle steady state the acceptance
+// criteria pin: one radix sort of the resident tuples per op on a sized
+// arena, so allocs/op must report ~0. The keys alternate between two
+// encodings so every iteration really permutes.
+func BenchmarkSimSortByKey(b *testing.B) {
+	g := graph.GNP(20_000, 12/20_000.0, graph.UniformWeight(1, 100), 7)
+	sim, err := NewSim(g.N(), 2*g.M(), 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples := make([]Tuple, 0, 2*g.M())
+	for id, e := range g.Edges() {
+		u, v := int32(e.U), int32(e.V)
+		tuples = append(tuples,
+			Tuple{Src: u, Dst: v, CSrc: u, CDst: v, W: e.W, Orig: int32(id)},
+			Tuple{Src: v, Dst: u, CSrc: v, CDst: u, W: e.W, Orig: int32(id)},
+		)
+	}
+	if err := sim.Load(tuples); err != nil {
+		b.Fatal(err)
+	}
+	enc := newKeyEncoding(g, 1)
+	if err := sim.SortByKey(enc.group); err != nil { // size the arena
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := enc.group
+		if i%2 == 1 {
+			key = enc.mirror
+		}
+		if err := sim.SortByKey(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMPCBuild pins the simulated distributed construction at n≈20k,
 // serial vs parallel: the sample sorts and the per-machine local passes are
 // the wall-clock, and both fan out over the worker pool.

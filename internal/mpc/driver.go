@@ -3,9 +3,9 @@ package mpc
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync/atomic"
 
+	"mpcspanner/internal/cluster"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/par"
 	"mpcspanner/internal/spanner"
@@ -14,6 +14,51 @@ import (
 
 // none marks a dead label.
 const none = int32(-1)
+
+// keyEncoding turns the driver's three tuple comparators into single
+// order-preserving uint64 keys, so every global sort runs as one radix
+// shuffle (Sim.SortByKey) instead of a comparison merge sort. Labels are
+// original-vertex ids (< n) and the (W, Orig) suffix every comparator ends
+// with collapses to the edge's dense weight rank (< m, see
+// cluster.WeightRanks), so a key needs 2·⌈log₂ n⌉ + ⌈log₂ m⌉ bits. When
+// that exceeds 64 — beyond ~10⁹ vertices at typical densities — the driver
+// falls back to the Sort(less) comparators, which remain the semantic
+// definition of the order.
+type keyEncoding struct {
+	vBits uint     // bits per vertex label
+	rank  []uint32 // edge id -> rank under (W, Orig)
+
+	// Prebuilt key closures (built once so hot loops don't re-bind them).
+	group  func(*Tuple) uint64 // (Src, CDst, W, Orig) — the B2 grouping sort
+	mirror func(*Tuple) uint64 // (Dst, CSrc) — the mirror-side label routing
+	pair   func(*Tuple) uint64 // (min, max, W, Orig) — the dedup sort
+}
+
+// newKeyEncoding builds the encoding for g, or nil when the composite
+// doesn't fit 64 bits (per cluster.KeyWidths, the layout shared with the
+// engine's dedup key) and the comparator fallback must run.
+func newKeyEncoding(g *graph.Graph, workers int) *keyEncoding {
+	vb, rb, ok := cluster.KeyWidths(g.N(), g.M())
+	if !ok {
+		return nil
+	}
+	e := &keyEncoding{vBits: vb, rank: cluster.WeightRanks(g, workers)}
+	rank := e.rank
+	e.group = func(t *Tuple) uint64 {
+		return uint64(t.Src)<<(vb+rb) | uint64(t.CDst)<<rb | uint64(rank[t.Orig])
+	}
+	e.mirror = func(t *Tuple) uint64 {
+		return uint64(t.Dst)<<vb | uint64(t.CSrc)
+	}
+	e.pair = func(t *Tuple) uint64 {
+		lo, hi := t.Src, t.Dst
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return uint64(lo)<<(vb+rb) | uint64(hi)<<rb | uint64(rank[t.Orig])
+	}
+	return e
+}
 
 // Options configures a distributed spanner build beyond its algorithm
 // parameters.
@@ -72,6 +117,14 @@ func BuildSpannerOpts(g *graph.Graph, k, t int, seed uint64, opt Options) (*Resu
 	if err := par.CheckWorkers("mpc: Options.Workers", opt.Workers); err != nil {
 		return nil, err
 	}
+	return buildSpanner(g, k, t, seed, opt, newKeyEncoding(g, opt.Workers))
+}
+
+// buildSpanner is BuildSpannerOpts after option validation, with the sort
+// strategy pinned: enc != nil runs every global sort as a radix-keyed
+// shuffle, enc == nil runs the comparator fallback. Both produce the same
+// spanner and the same round bill (the equivalence tests exercise the pair).
+func buildSpanner(g *graph.Graph, k, t int, seed uint64, opt Options, enc *keyEncoding) (*Result, error) {
 	sim, err := NewSim(g.N(), 2*g.M(), opt.Gamma)
 	if err != nil {
 		return nil, err
@@ -93,7 +146,7 @@ func BuildSpannerOpts(g *graph.Graph, k, t int, seed uint64, opt Options) (*Resu
 	}
 
 	res := &Result{Machines: sim.Machines(), MemoryPerMachine: sim.MemoryPerMachine(), Workers: sim.Workers()}
-	inSpanner := make(map[int32]struct{})
+	ds := newDriverScratch(g.M(), sim.Workers())
 	n := float64(g.N())
 
 	for _, spec := range spanner.Schedule(k, t) {
@@ -101,12 +154,12 @@ func BuildSpannerOpts(g *graph.Graph, k, t int, seed uint64, opt Options) (*Resu
 			break
 		}
 		p := math.Pow(n, -spec.Exponent)
-		if err := iterateDistributed(sim, p, uint64(spec.Epoch), uint64(spec.Iter), seed, inSpanner); err != nil {
+		if err := iterateDistributed(sim, p, uint64(spec.Epoch), uint64(spec.Iter), seed, ds, enc); err != nil {
 			return nil, err
 		}
 		res.Iterations++
 		if spec.LastOfEpoch && sim.Len() > 0 {
-			if err := contractDistributed(sim); err != nil {
+			if err := contractDistributed(sim, enc); err != nil {
 				return nil, err
 			}
 			res.Epochs++
@@ -116,17 +169,20 @@ func BuildSpannerOpts(g *graph.Graph, k, t int, seed uint64, opt Options) (*Resu
 	// Phase 2: one more dedup pass (idempotent after a trailing
 	// contraction), then every surviving representative joins the spanner.
 	if sim.Len() > 0 {
-		if err := dedupPairs(sim); err != nil {
+		if err := dedupPairs(sim, enc); err != nil {
 			return nil, err
 		}
-		sim.Scan(func(t *Tuple) { inSpanner[t.Orig] = struct{}{} })
+		sim.Scan(func(t *Tuple) { ds.addSpanner(t.Orig) })
 	}
 
-	res.EdgeIDs = make([]int, 0, len(inSpanner))
-	for id := range inSpanner {
-		res.EdgeIDs = append(res.EdgeIDs, int(id))
+	// The spanner membership bitmap is indexed by edge id, so the ascending
+	// scan yields EdgeIDs already sorted.
+	res.EdgeIDs = make([]int, 0, ds.spanCount)
+	for id, in := range ds.inSpanner {
+		if in {
+			res.EdgeIDs = append(res.EdgeIDs, id)
+		}
 	}
-	sort.Ints(res.EdgeIDs)
 	res.Rounds = sim.Rounds()
 	res.PeakMachineLoad = sim.PeakMachineLoad()
 	res.PeakTotalTuples = sim.PeakTotalTuples()
@@ -159,8 +215,55 @@ type decisionPart struct {
 	removes []pairKey
 }
 
+// reset empties the part for the next iteration, keeping its capacity.
+func (p *decisionPart) reset() {
+	p.adds = p.adds[:0]
+	p.joins = p.joins[:0]
+	p.removes = p.removes[:0]
+}
+
+// groupMin is one (Src, CDst) group's minimum-weight representative.
+type groupMin struct {
+	c    int32
+	w    float64
+	orig int32
+}
+
+// driverScratch is the per-build state the iteration loop reuses across
+// rounds: the spanner-membership bitmap and the decision accumulators and
+// maps that used to be reallocated every iteration. Maps are cleared, not
+// remade, so their buckets amortize across the whole build.
+type driverScratch struct {
+	inSpanner []bool // edge id -> chosen (ascending scan = sorted EdgeIDs)
+	spanCount int
+
+	parts    []decisionPart
+	groups   [][]groupMin // per-shard group-minima buffer
+	badTuple []int
+	removes  map[pairKey]struct{}
+	joins    map[int32]joinRec
+}
+
+func newDriverScratch(m, workers int) *driverScratch {
+	return &driverScratch{
+		inSpanner: make([]bool, m),
+		parts:     make([]decisionPart, workers),
+		groups:    make([][]groupMin, workers),
+		badTuple:  make([]int, workers),
+		removes:   make(map[pairKey]struct{}),
+		joins:     make(map[int32]joinRec),
+	}
+}
+
+func (ds *driverScratch) addSpanner(orig int32) {
+	if !ds.inSpanner[orig] {
+		ds.inSpanner[orig] = true
+		ds.spanCount++
+	}
+}
+
 // iterateDistributed is one grow iteration (Steps B1–B6) in tuple form.
-func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, inSpanner map[int32]struct{}) error {
+func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, ds *driverScratch, enc *keyEncoding) error {
 	// B1 — sampling. The coin for a cluster is a pure function of its
 	// center label, so every machine evaluates it locally: no rounds.
 	sampled := func(label int32) bool {
@@ -168,19 +271,9 @@ func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, inSpanner
 	}
 
 	// B2 — group edges of processed supernodes: sort by (Src, CDst, W, Orig)
-	// so each (v, c) group is contiguous with its minimum first.
-	if err := sim.Sort(func(a, b *Tuple) bool {
-		if a.Src != b.Src {
-			return a.Src < b.Src
-		}
-		if a.CDst != b.CDst {
-			return a.CDst < b.CDst
-		}
-		if a.W != b.W {
-			return a.W < b.W
-		}
-		return a.Orig < b.Orig
-	}); err != nil {
+	// so each (v, c) group is contiguous with its minimum first. Keyed: one
+	// radix shuffle on the (Src, CDst, weight-rank) composite.
+	if err := sortGroup(sim, enc); err != nil {
 		return err
 	}
 
@@ -193,18 +286,18 @@ func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, inSpanner
 	// merged decisions are identical at every worker count.
 	starts := sim.SegmentStarts(func(a, b *Tuple) bool { return a.Src == b.Src })
 	data := sim.Data()
-	workers := sim.Workers()
-	parts := make([]decisionPart, workers)
+	parts := ds.parts
+	for i := range parts {
+		parts[i].reset()
+	}
 	// badTuple[shard] records the first dead-labeled tuple a shard saw
 	// (index+1 into data), so the fail-fast error can name the tuple; the
 	// lowest shard's find is reported, matching the serial scan order.
-	badTuple := make([]int, workers)
-	type groupMin struct {
-		c    int32
-		w    float64
-		orig int32
+	badTuple := ds.badTuple
+	for i := range badTuple {
+		badTuple[i] = 0
 	}
-	groupsByShard := make([][]groupMin, workers) // reused across each shard's segments
+	groupsByShard := ds.groups // reused across each shard's segments
 	sim.ForSegments(starts, func(shard, si, lo, hi int) {
 		if badTuple[shard] != 0 {
 			return // shard already failing fast
@@ -271,11 +364,13 @@ func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, inSpanner
 			return fmt.Errorf("mpc: tuple with dead label survived: %+v", data[bad-1])
 		}
 	}
-	removePairs := make(map[pairKey]struct{})
-	joins := make(map[int32]joinRec)
+	removePairs := ds.removes
+	joins := ds.joins
+	clear(removePairs)
+	clear(joins)
 	for i := range parts {
 		for _, orig := range parts[i].adds {
-			inSpanner[orig] = struct{}{}
+			ds.addSpanner(orig)
 		}
 		for _, j := range parts[i].joins {
 			joins[j.v] = j.rec
@@ -290,12 +385,7 @@ func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, inSpanner
 	// order (one broadcast tree); the mirror side needs a resort by
 	// (Dst, CSrc) plus its own broadcast tree.
 	sim.ChargeTree(1)
-	if err := sim.Sort(func(a, b *Tuple) bool {
-		if a.Dst != b.Dst {
-			return a.Dst < b.Dst
-		}
-		return a.CSrc < b.CSrc
-	}); err != nil {
+	if err := sortMirror(sim, enc); err != nil {
 		return err
 	}
 	sim.ChargeTree(1)
@@ -343,29 +433,53 @@ func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, inSpanner
 	return nil
 }
 
-// contractDistributed is Step C: supernode labels become the cluster labels
-// (local relabel), then one dedup sort keeps the minimum-weight
-// representative per supernode pair.
-func contractDistributed(sim *Sim) error {
-	sim.Update(func(t *Tuple) {
-		t.Src, t.Dst = t.CSrc, t.CDst
+// sortGroup runs the B2 grouping sort: by (Src, CDst, W, Orig), keyed when
+// the encoding fits.
+func sortGroup(sim *Sim, enc *keyEncoding) error {
+	if enc != nil {
+		return sim.SortByKey(enc.group)
+	}
+	return sim.Sort(func(a, b *Tuple) bool {
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.CDst != b.CDst {
+			return a.CDst < b.CDst
+		}
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		return a.Orig < b.Orig
 	})
-	return dedupPairs(sim)
 }
 
-// dedupPairs sorts by unordered pair and keeps only the two directed copies
-// of the minimum-weight edge per pair (one Sort + one boundary tree). The
-// keep decision is a segmented aggregate: within each pair segment the
-// minimum is the first tuple, and a tuple survives iff it carries the
-// minimum's original edge id — evaluated per segment on the worker pool.
-func dedupPairs(sim *Sim) error {
+// sortMirror runs the mirror-side routing sort: by (Dst, CSrc), keyed when
+// the encoding fits.
+func sortMirror(sim *Sim, enc *keyEncoding) error {
+	if enc != nil {
+		return sim.SortByKey(enc.mirror)
+	}
+	return sim.Sort(func(a, b *Tuple) bool {
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.CSrc < b.CSrc
+	})
+}
+
+// sortPairs runs the dedup sort: by (min endpoint, max endpoint, W, Orig),
+// keyed when the encoding fits.
+func sortPairs(sim *Sim, enc *keyEncoding) error {
+	if enc != nil {
+		return sim.SortByKey(enc.pair)
+	}
 	lo := func(t *Tuple) (int32, int32) {
 		if t.Src < t.Dst {
 			return t.Src, t.Dst
 		}
 		return t.Dst, t.Src
 	}
-	if err := sim.Sort(func(a, b *Tuple) bool {
+	return sim.Sort(func(a, b *Tuple) bool {
 		la, ha := lo(a)
 		lb, hb := lo(b)
 		if la != lb {
@@ -378,17 +492,36 @@ func dedupPairs(sim *Sim) error {
 			return a.W < b.W
 		}
 		return a.Orig < b.Orig
-	}); err != nil {
+	})
+}
+
+// contractDistributed is Step C: supernode labels become the cluster labels
+// (local relabel), then one dedup sort keeps the minimum-weight
+// representative per supernode pair.
+func contractDistributed(sim *Sim, enc *keyEncoding) error {
+	sim.Update(func(t *Tuple) {
+		t.Src, t.Dst = t.CSrc, t.CDst
+	})
+	return dedupPairs(sim, enc)
+}
+
+// dedupPairs sorts by unordered pair and keeps only the two directed copies
+// of the minimum-weight edge per pair (one Sort + one boundary tree). The
+// keep decision is a segmented aggregate: within each pair segment the
+// minimum is the first tuple, and a tuple survives iff it carries the
+// minimum's original edge id — evaluated per segment on the worker pool
+// into the arena's compaction mask.
+func dedupPairs(sim *Sim, enc *keyEncoding) error {
+	if err := sortPairs(sim, enc); err != nil {
 		return err
 	}
 	sim.ChargeTree(1)
 	starts := sim.SegmentStarts(func(a, b *Tuple) bool {
-		la, ha := lo(a)
-		lb, hb := lo(b)
-		return la == lb && ha == hb
+		return a.Src == b.Src && a.Dst == b.Dst ||
+			a.Src == b.Dst && a.Dst == b.Src
 	})
 	data := sim.Data()
-	mask := make([]bool, len(data))
+	mask := sim.maskScratch(len(data))
 	sim.ForSegments(starts, func(_, _, lo, hi int) {
 		minOrig := data[lo].Orig
 		for i := lo; i < hi; i++ {

@@ -54,9 +54,20 @@ type Sim struct {
 	// bit-identical at every worker count.
 	workers int
 
-	data    []Tuple
-	mask    []bool  // scratch for Filter/Keep compaction
-	sortBuf []Tuple // retained merge scratch for the per-round sorts
+	data []Tuple
+
+	// Scratch arena: every buffer below is sized on first use and reused
+	// across rounds, so the steady-state primitives (Sort/SortByKey, Filter,
+	// Keep, SegmentStarts) allocate nothing. Buffers never shrink — the
+	// tuple count only decreases after Load, so first-round sizing is the
+	// high-water mark.
+	mask    []bool          // Filter/Keep compaction mask
+	sortBuf []Tuple         // merge/permutation scratch for the per-round sorts
+	keys    []uint64        // SortByKey: extracted keys
+	idx     []uint32        // SortByKey: permutation carrier
+	sorter  par.RadixSorter // retained radix ping-pong buffers + histograms
+	isStart []bool          // SegmentStarts boundary flags
+	starts  []int           // SegmentStarts result backing store
 
 	rounds     int
 	sorts      int
@@ -181,6 +192,57 @@ func (m *Sim) Sort(less func(a, b *Tuple) bool) error {
 		m.sortBuf = make([]Tuple, len(m.data))
 	}
 	par.SortStableBuf(m.workers, m.data, m.sortBuf[:len(m.data)], less)
+	return m.chargeSort()
+}
+
+// SortByKey is Sort with the comparator replaced by an order-preserving
+// uint64 key: tuples are stably reordered by ascending key(t), equal keys
+// keeping their placement order — bit-identical to Sort with the comparator
+// the key encodes, at every worker count. The model cost is the same
+// SortRounds charge (the [GSZ11] sample sort the simulator prices is
+// oblivious to how the in-process realization compares records); the
+// wall-clock realization is the par.RadixSorter LSD radix sort over the
+// arena's retained key/index/tuple buffers, so steady-state calls allocate
+// nothing. key must be a pure per-tuple function: it is invoked concurrently
+// from the worker pool.
+func (m *Sim) SortByKey(key func(t *Tuple) uint64) error {
+	n := len(m.data)
+	if cap(m.sortBuf) < n {
+		m.sortBuf = make([]Tuple, n)
+	}
+	if cap(m.keys) < n {
+		m.keys = make([]uint64, n)
+		m.idx = make([]uint32, n)
+	}
+	keys, idx := m.keys[:n], m.idx[:n]
+	if m.workers <= 1 {
+		for i := range m.data {
+			keys[i] = key(&m.data[i])
+			idx[i] = uint32(i)
+		}
+	} else {
+		par.For(m.workers, n, func(i int) {
+			keys[i] = key(&m.data[i])
+			idx[i] = uint32(i)
+		})
+	}
+	m.sorter.Sort(m.workers, keys, idx)
+	// Apply the permutation through the retained tuple scratch, then swap
+	// the backing stores (ping-pong; no copy back).
+	dst := m.sortBuf[:n]
+	if m.workers <= 1 {
+		for i, j := range idx {
+			dst[i] = m.data[j]
+		}
+	} else {
+		par.For(m.workers, n, func(i int) { dst[i] = m.data[idx[i]] })
+	}
+	m.data, m.sortBuf = dst, m.data[:cap(m.data)]
+	return m.chargeSort()
+}
+
+// chargeSort books one global sort's model cost and re-validates placement.
+func (m *Sim) chargeSort() error {
 	m.rounds += m.SortRounds()
 	m.sorts++
 	m.totalMoved += int64(len(m.data))
@@ -211,27 +273,43 @@ func (m *Sim) Update(f func(t *Tuple)) {
 // per-tuple predicate; the surviving tuples retain their order, so the
 // result is identical at every worker count.
 func (m *Sim) Filter(keep func(t *Tuple) bool) {
-	if cap(m.mask) < len(m.data) {
-		m.mask = make([]bool, len(m.data))
+	mask := m.maskScratch(len(m.data))
+	if m.workers <= 1 {
+		for i := range m.data {
+			mask[i] = keep(&m.data[i])
+		}
+	} else {
+		par.For(m.workers, len(m.data), func(i int) { mask[i] = keep(&m.data[i]) })
 	}
-	mask := m.mask[:len(m.data)]
-	par.For(m.workers, len(m.data), func(i int) { mask[i] = keep(&m.data[i]) })
 	m.Keep(mask)
 }
 
 // Keep retains exactly the tuples whose mask entry is true, preserving
-// order (local compaction; no rounds).
+// order (local compaction; no rounds). Survivors shift left in place —
+// machines release the freed memory; nothing is reallocated.
 func (m *Sim) Keep(mask []bool) {
 	if len(mask) != len(m.data) {
 		panic("mpc: Keep mask length mismatch")
 	}
-	out := m.data[:0]
+	w := 0
 	for i := range m.data {
 		if mask[i] {
-			out = append(out, m.data[i])
+			if w != i {
+				m.data[w] = m.data[i]
+			}
+			w++
 		}
 	}
-	m.data = out
+	m.data = m.data[:w]
+}
+
+// maskScratch returns the arena's compaction mask sized to n. The slice is
+// invalidated by the next Filter call (Filter writes the same scratch).
+func (m *Sim) maskScratch(n int) []bool {
+	if cap(m.mask) < n {
+		m.mask = make([]bool, n)
+	}
+	return m.mask[:n]
 }
 
 // Data exposes the resident tuples in placement order. Callers must treat
@@ -245,25 +323,36 @@ func (m *Sim) Data() []Tuple { return m.data }
 // decomposition that Section 6's "group by supernode, aggregate per group"
 // subroutines operate on. Boundary detection is a local comparison with the
 // left neighbor, so it parallelizes over the machine blocks; the returned
-// starts are in increasing order and independent of the worker count.
+// starts are in increasing order and independent of the worker count. The
+// slice is backed by the arena and invalidated by the next SegmentStarts
+// call; steady-state calls allocate nothing.
 func (m *Sim) SegmentStarts(sameKey func(a, b *Tuple) bool) []int {
 	n := len(m.data)
 	if n == 0 {
 		return nil
 	}
-	isStart := make([]bool, n)
+	if cap(m.isStart) < n {
+		m.isStart = make([]bool, n)
+		m.starts = make([]int, 0, n)
+	}
+	isStart := m.isStart[:n]
 	isStart[0] = true
-	par.For(m.workers, n-1, func(i int) {
-		if !sameKey(&m.data[i], &m.data[i+1]) {
-			isStart[i+1] = true
+	if m.workers <= 1 {
+		for i := 0; i < n-1; i++ {
+			isStart[i+1] = !sameKey(&m.data[i], &m.data[i+1])
 		}
-	})
-	var starts []int
+	} else {
+		par.For(m.workers, n-1, func(i int) {
+			isStart[i+1] = !sameKey(&m.data[i], &m.data[i+1])
+		})
+	}
+	starts := m.starts[:0]
 	for i, s := range isStart {
 		if s {
 			starts = append(starts, i)
 		}
 	}
+	m.starts = starts
 	return starts
 }
 

@@ -188,6 +188,10 @@ func (o *Oracle) Row(src int) []float64 {
 	sh.inflight[src] = c
 	sh.mu.Unlock()
 
+	// Cold fill: the row itself must be freshly allocated (it outlives this
+	// call in the cache and in callers' hands), but the run's frontier heap
+	// comes from dist's per-size scratch pool, so a fill costs exactly one
+	// row allocation.
 	o.misses.Add(1)
 	c.row = dist.Dijkstra(o.g, src)
 

@@ -57,6 +57,33 @@ func BenchmarkSortStable(b *testing.B) {
 	}
 }
 
+// BenchmarkRadixSortKeys measures the keyed shuffle engine against
+// BenchmarkSortStable's comparison sort on the same element count; the
+// retained RadixSorter makes steady-state iterations allocation-free.
+func BenchmarkRadixSortKeys(b *testing.B) {
+	const n = 300_000
+	rng := xrand.New(9)
+	base := make([]uint64, n)
+	for i := range base {
+		base[i] = rng.Uint64() >> 24 // ~40 live bits, like a (v, c, rank) composite
+	}
+	keys := make([]uint64, n)
+	idx := make([]uint32, n)
+	var rs RadixSorter
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(keys, base)
+				for j := range idx {
+					idx[j] = uint32(j)
+				}
+				rs.Sort(w, keys, idx)
+			}
+		})
+	}
+}
+
 func BenchmarkMergeSorted(b *testing.B) {
 	const n = 200_000
 	src := xrand.New(3)

@@ -161,6 +161,13 @@ func (z *Zipf) Next() int {
 // for logical event (seed, keys...) with success probability p fires. The
 // outcome is a pure function of its arguments, so any execution plane can
 // evaluate the same event and observe the same outcome without communication.
+//
+// The evaluation inlines the first draw of the stream Split(seed, keys...)
+// would yield — bit-identical to Split(seed, keys...).Float64() < p — but
+// without materializing a Source, because CoinAt sits on the per-tuple hot
+// paths of the construction pipeline (the MPC driver evaluates one coin per
+// tuple endpoint per iteration) and a heap allocation per coin was the
+// pipeline's single largest allocation source.
 func CoinAt(p float64, seed uint64, keys ...uint64) bool {
 	if p <= 0 {
 		return false
@@ -168,5 +175,10 @@ func CoinAt(p float64, seed uint64, keys ...uint64) bool {
 	if p >= 1 {
 		return true
 	}
-	return Split(seed, keys...).Float64() < p
+	s := mix(seed + golden)
+	for _, k := range keys {
+		s = mix(s ^ mix(k+golden))
+	}
+	s += golden // first Uint64 draw of the derived stream
+	return float64(mix(s)>>11)/(1<<53) < p
 }

@@ -201,6 +201,11 @@ type MPCOptions = mpc.Options
 // and memory alongside the spanner, which is bit-identical to
 // BuildSpanner(AlgoGeneral) under the same seed. The simulated machines'
 // local passes run on a GOMAXPROCS pool; use BuildSpannerMPCOpts to pin it.
+//
+// Wall-clock: the simulator's global sorts run as radix-keyed shuffles over
+// order-preserving uint64 encodings of the paper's comparators, on a scratch
+// arena reused across rounds (DESIGN.md §7) — the simulated round/sort/tree
+// accounting is identical to the comparator realization, only faster.
 func BuildSpannerMPC(g *Graph, k, t int, gamma float64, seed uint64) (*MPCResult, error) {
 	return mpc.BuildSpanner(g, k, t, gamma, seed)
 }
