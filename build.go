@@ -1,0 +1,344 @@
+package mpcspanner
+
+import (
+	"context"
+
+	"mpcspanner/internal/cclique"
+	"mpcspanner/internal/dist"
+	"mpcspanner/internal/mpc"
+	"mpcspanner/internal/par"
+	"mpcspanner/internal/spanner"
+)
+
+// Option configures Build and Serve. Options are applied in order and
+// validated together when the call starts; an invalid combination returns an
+// error satisfying errors.Is(err, ErrInvalidOption) whose *OptionError names
+// the offending field. Later options override earlier ones (last write
+// wins); see DESIGN.md §8 for the precedence and default table.
+type Option func(*config)
+
+// config is the merged option state of one Build or Serve call.
+type config struct {
+	algo     Algorithm
+	k, t     int
+	gamma    float64
+	seed     uint64
+	workers  int
+	reps     int
+	radius   bool
+	progress func(ProgressEvent)
+
+	// Serving-side knobs (Serve only).
+	exact   bool
+	shards  int
+	maxRows int
+
+	// set tracks which options were supplied, so each entry point can
+	// reject the ones it does not accept instead of silently ignoring them.
+	set map[string]bool
+}
+
+func (c *config) mark(field string) {
+	if c.set == nil {
+		c.set = make(map[string]bool)
+	}
+	c.set[field] = true
+}
+
+// WithAlgorithm selects the construction family (default AlgoGeneral).
+// Accepted by Build only.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *config) { c.algo = a; c.mark("Algorithm") }
+}
+
+// WithK sets the stretch parameter k ≥ 1. Required by Build; not accepted
+// by Serve (the §7 pipeline fixes k = ⌈log₂ n⌉).
+func WithK(k int) Option {
+	return func(c *config) { c.k = k; c.mark("K") }
+}
+
+// WithT sets the epoch length t ≥ 1 of the general/MPC/Congested-Clique
+// families (default: the paper's per-family sweet spot — ⌈log₂ k⌉ for
+// Build, ⌈log₂ log₂ n⌉ for Serve's §7 pipeline). Ignored by the other
+// algorithms, exactly as the flat API ignored SpannerOptions.T for them.
+func WithT(t int) Option {
+	return func(c *config) { c.t = t; c.mark("T") }
+}
+
+// WithGamma sets the memory exponent γ of the simulated machines (AlgoMPC,
+// AlgoUnweighted, and Serve's build phase; default 0.5).
+func WithGamma(gamma float64) Option {
+	return func(c *config) { c.gamma = gamma; c.mark("Gamma") }
+}
+
+// WithSeed pins all randomness: equal seeds give bit-identical results at
+// every worker count (default 0).
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed; c.mark("Seed") }
+}
+
+// WithWorkers sizes the real goroutine pool: 0 selects GOMAXPROCS (the
+// default), 1 forces the serial path, larger values pin the pool. Negative
+// values are rejected. Results never depend on the worker count.
+func WithWorkers(w int) Option {
+	return func(c *config) { c.workers = w; c.mark("Workers") }
+}
+
+// WithRepetitions runs that many independent builds (derived seeds) and
+// keeps the smallest spanner — the w.h.p. mechanism of Theorem 8.1 /
+// Section 6. Supported by the local engine families only (AlgoGeneral,
+// AlgoClusterMerge, AlgoSqrtK, AlgoBaswanaSen).
+func WithRepetitions(r int) Option {
+	return func(c *config) { c.reps = r; c.mark("Repetitions") }
+}
+
+// WithMeasureRadius additionally reports final cluster-tree radii in
+// BuildResult.Stats.Radius (local engine families only).
+func WithMeasureRadius() Option {
+	return func(c *config) { c.radius = true; c.mark("MeasureRadius") }
+}
+
+// WithProgress installs a synchronous progress callback. Events arrive from
+// the construction loop's cancellation checkpoints (one per grow iteration /
+// contraction / phase); the callback must be fast, must not call back into
+// the library, and must be safe for concurrent use when WithRepetitions is
+// in effect. Canceling the build's context from inside the callback stops
+// the build at the next checkpoint.
+func WithProgress(fn func(ProgressEvent)) Option {
+	return func(c *config) { c.progress = fn; c.mark("Progress") }
+}
+
+// WithExact makes Serve answer distances on the supplied graph as given,
+// skipping the §7 approximation pipeline. Use it to serve exact distances,
+// or to serve a spanner you already built (e.g. Build(...).Spanner()).
+// Accepted by Serve only.
+func WithExact() Option {
+	return func(c *config) { c.exact = true; c.mark("Exact") }
+}
+
+// WithCacheShards sets the serving cache's independently locked shard count
+// (0 = default 16). Accepted by Serve only.
+func WithCacheShards(n int) Option {
+	return func(c *config) { c.shards = n; c.mark("CacheShards") }
+}
+
+// WithCacheRows sets the serving cache's row budget across all shards (one
+// row = n float64s; 0 = default 1024). Accepted by Serve only.
+func WithCacheRows(n int) Option {
+	return func(c *config) { c.maxRows = n; c.mark("CacheRows") }
+}
+
+// buildOnly / serveOnly / cliqueAPSPForeign name the options each entry
+// point rejects.
+var (
+	buildOnly = []string{"Algorithm", "K", "Repetitions", "MeasureRadius"}
+	serveOnly = []string{"Exact", "CacheShards", "CacheRows"}
+	// The Corollary 1.5 pipeline fixes its structural parameters, so only
+	// WithSeed / WithWorkers / WithProgress apply.
+	cliqueAPSPForeign = []string{"Algorithm", "K", "T", "Gamma", "Repetitions",
+		"MeasureRadius", "Exact", "CacheShards", "CacheRows"}
+)
+
+// newConfig folds opts and rejects the ones foreign to the calling entry
+// point.
+func newConfig(entry string, reject []string, opts []Option) (*config, error) {
+	c := &config{}
+	for _, opt := range opts {
+		opt(c)
+	}
+	for _, field := range reject {
+		if c.set[field] {
+			return nil, &OptionError{Field: "mpcspanner: " + field, Value: "(set)",
+				Reason: "not accepted by " + entry}
+		}
+	}
+	if err := par.CheckWorkers("mpcspanner: Workers", c.workers); err != nil {
+		return nil, err
+	}
+	if c.t < 0 {
+		return nil, &OptionError{Field: "mpcspanner: T", Value: c.t,
+			Reason: "must be >= 1 (0 selects the default)"}
+	}
+	if c.set["Gamma"] && (c.gamma <= 0 || c.gamma > 1) {
+		return nil, &OptionError{Field: "mpcspanner: Gamma", Value: c.gamma,
+			Reason: "must lie in (0, 1]"}
+	}
+	if c.shards < 0 {
+		return nil, &OptionError{Field: "mpcspanner: CacheShards", Value: c.shards,
+			Reason: "must be >= 0 (0 selects the default)"}
+	}
+	if c.maxRows < 0 {
+		return nil, &OptionError{Field: "mpcspanner: CacheRows", Value: c.maxRows,
+			Reason: "must be >= 0 (0 selects the default)"}
+	}
+	return c, nil
+}
+
+// BuildResult is the unified outcome of Build: the spanner edge set plus the
+// per-family artifacts of the algorithm that produced it.
+type BuildResult struct {
+	// Algorithm is the family that ran (after defaulting).
+	Algorithm Algorithm
+
+	// EdgeIDs is the spanner: sorted unique indexes into the input graph's
+	// edge list.
+	EdgeIDs []int
+
+	// Stats carries the engine's structural costs for the local families
+	// and AlgoCongestedClique; it is zero for AlgoUnweighted and AlgoMPC
+	// (see Unweighted and MPC below).
+	Stats SpannerStats
+
+	// Unweighted holds the Appendix B statistics when Algorithm is
+	// AlgoUnweighted; nil otherwise.
+	Unweighted *UnweightedStats
+
+	// MPC holds the simulated-cluster cost profile (rounds, memory, sorts)
+	// when Algorithm is AlgoMPC; nil otherwise.
+	MPC *MPCResult
+
+	// CC holds the clique round bill and WHP selection statistics when
+	// Algorithm is AlgoCongestedClique; nil otherwise.
+	CC *CCSpannerResult
+
+	g *Graph
+}
+
+// Size returns the number of spanner edges.
+func (r *BuildResult) Size() int { return len(r.EdgeIDs) }
+
+// Spanner materializes the spanner as a graph on the input's vertex set.
+func (r *BuildResult) Spanner() *Graph { return r.g.Subgraph(r.EdgeIDs) }
+
+// Verify checks that the result is a valid spanner of its input graph
+// within maxStretch and returns the measured stretch report. It works for
+// every algorithm family (it needs only the edge set, not the per-family
+// statistics), so callers never reassemble a SpannerResult by hand.
+func (r *BuildResult) Verify(maxStretch float64) (dist.StretchReport, error) {
+	return spanner.Verify(r.g, &spanner.Result{EdgeIDs: r.EdgeIDs, Stats: r.Stats}, maxStretch)
+}
+
+// Build constructs a spanner of g under ctx. It is the single entry point
+// for every construction family of the paper — select one with
+// WithAlgorithm, parameterize it with the other options:
+//
+//	res, err := mpcspanner.Build(ctx, g,
+//	    mpcspanner.WithK(8),
+//	    mpcspanner.WithSeed(1),
+//	    mpcspanner.WithProgress(func(ev mpcspanner.ProgressEvent) { ... }))
+//
+// Cancellation is cooperative: the construction loops checkpoint ctx once
+// per grow iteration (and per contraction / phase transition), so a
+// canceled build returns within one iteration's work, with every pool
+// goroutine joined. The returned error then satisfies both
+// errors.Is(err, ErrCanceled) and errors.Is(err, ctx.Err()). Equal seeds
+// give bit-identical spanners at every worker count, canceled or not —
+// checkpoints never change what is computed.
+//
+// Option validation happens before any work: a rejected value returns an
+// error satisfying errors.Is(err, ErrInvalidOption) carrying a *OptionError.
+func Build(ctx context.Context, g *Graph, opts ...Option) (*BuildResult, error) {
+	cfg, err := newConfig("Build", serveOnly, opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.k < 1 {
+		return nil, &OptionError{Field: "mpcspanner: K", Value: cfg.k,
+			Reason: "stretch parameter is required and must be >= 1 (use WithK)"}
+	}
+	if cfg.reps < 0 {
+		return nil, &OptionError{Field: "mpcspanner: Repetitions", Value: cfg.reps,
+			Reason: "must be >= 0 (0 and 1 both mean a single run)"}
+	}
+
+	engineOpts := spanner.Options{
+		Seed:          cfg.seed,
+		Repetitions:   cfg.reps,
+		Workers:       cfg.workers,
+		MeasureRadius: cfg.radius,
+		Progress:      cfg.progress,
+	}
+	gamma := cfg.gamma
+	if gamma == 0 {
+		gamma = 0.5
+	}
+
+	algo := cfg.algo
+	if algo == "" {
+		algo = AlgoGeneral
+	}
+	switch algo {
+	case AlgoUnweighted, AlgoMPC, AlgoCongestedClique:
+		if cfg.reps > 1 {
+			return nil, &OptionError{Field: "mpcspanner: Repetitions", Value: cfg.reps,
+				Reason: "only the local engine algorithms support repetitions"}
+		}
+		if cfg.radius {
+			return nil, &OptionError{Field: "mpcspanner: MeasureRadius", Value: true,
+				Reason: "only the local engine algorithms report cluster-tree radii"}
+		}
+	}
+	if algo == AlgoUnweighted && cfg.set["Gamma"] && cfg.gamma >= 1 {
+		// Appendix B needs γ strictly below 1; catch it with the other
+		// option checks instead of deep inside the construction.
+		return nil, &OptionError{Field: "mpcspanner: Gamma", Value: cfg.gamma,
+			Reason: "must lie in (0, 1) for AlgoUnweighted"}
+	}
+
+	// The engine families differ only in which constructor runs; they share
+	// the result wrapping after the switch.
+	var engineResult *spanner.Result
+	switch algo {
+	case AlgoGeneral:
+		t := cfg.t
+		if t <= 0 {
+			t = defaultT(cfg.k)
+		}
+		engineResult, err = spanner.GeneralCtx(ctx, g, cfg.k, t, engineOpts)
+	case AlgoClusterMerge:
+		engineResult, err = spanner.ClusterMergeCtx(ctx, g, cfg.k, engineOpts)
+	case AlgoSqrtK:
+		engineResult, err = spanner.SqrtKCtx(ctx, g, cfg.k, engineOpts)
+	case AlgoBaswanaSen:
+		engineResult, err = spanner.BaswanaSenCtx(ctx, g, cfg.k, engineOpts)
+	case AlgoUnweighted:
+		r, err := spanner.UnweightedCtx(ctx, g, cfg.k, spanner.UnweightedOptions{
+			Seed: cfg.seed, Gamma: cfg.gamma, Workers: cfg.workers, Progress: cfg.progress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &BuildResult{Algorithm: algo, EdgeIDs: r.EdgeIDs, Unweighted: &r.Stats, g: g}, nil
+	case AlgoMPC:
+		t := cfg.t
+		if t <= 0 {
+			t = defaultT(cfg.k)
+		}
+		r, err := mpc.BuildSpannerCtx(ctx, g, cfg.k, t, cfg.seed, mpc.Options{
+			Gamma: gamma, Workers: cfg.workers, Progress: cfg.progress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &BuildResult{Algorithm: algo, EdgeIDs: r.EdgeIDs, MPC: r, g: g}, nil
+	case AlgoCongestedClique:
+		t := cfg.t
+		if t <= 0 {
+			t = defaultT(cfg.k)
+		}
+		r, err := cclique.BuildSpannerCtx(ctx, g, cfg.k, t, cfg.seed, cclique.BuildOptions{
+			Workers: cfg.workers, Progress: cfg.progress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &BuildResult{Algorithm: algo, EdgeIDs: r.EdgeIDs, Stats: r.Stats, CC: r, g: g}, nil
+	default:
+		return nil, &OptionError{Field: "mpcspanner: Algorithm", Value: string(cfg.algo),
+			Reason: "unknown algorithm"}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &BuildResult{Algorithm: algo, EdgeIDs: engineResult.EdgeIDs, Stats: engineResult.Stats, g: g}, nil
+}

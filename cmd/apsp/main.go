@@ -5,12 +5,21 @@
 //
 //	go run ./cmd/apsp -n 5000 -deg 10 -queries 5
 //	go run ./cmd/apsp -n 5000 -clique        # Corollary 1.5 in the Congested Clique
+//
+// Ctrl-C cancels the build at its next simulated-round checkpoint and
+// reports how far it got.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"mpcspanner"
 	"mpcspanner/internal/dist"
@@ -26,14 +35,21 @@ func main() {
 	clique := flag.Bool("clique", false, "run the Congested Clique variant (Corollary 1.5)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	g := mpcspanner.Connectify(
 		mpcspanner.GNP(*n, *deg/float64(*n), mpcspanner.UniformWeight(1, *maxW), *seed), *maxW)
 	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
 
+	var last atomic.Pointer[mpcspanner.ProgressEvent]
+
 	if *clique {
-		res, err := mpcspanner.ApproxAPSPCongestedClique(g, *seed)
+		res, err := mpcspanner.ApproxAPSPCongestedCliqueCtx(ctx, g,
+			mpcspanner.WithSeed(*seed),
+			mpcspanner.WithProgress(func(ev mpcspanner.ProgressEvent) { last.Store(&ev) }))
 		if err != nil {
-			log.Fatal(err)
+			fatal(err, last.Load())
 		}
 		fmt.Printf("congested clique: k=%d t=%d spannerRounds=%d collectRounds=%d total=%d\n",
 			res.K, res.T, res.SpannerRounds, res.CollectionRounds, res.Rounds)
@@ -47,9 +63,12 @@ func main() {
 		return
 	}
 
-	res, err := mpcspanner.ApproxAPSP(g, mpcspanner.APSPOptions{Seed: *seed, T: *t})
+	res, err := mpcspanner.ApproxAPSPCtx(ctx, g, mpcspanner.APSPOptions{
+		Seed: *seed, T: *t,
+		Progress: func(ev mpcspanner.ProgressEvent) { last.Store(&ev) },
+	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err, last.Load())
 	}
 	fmt.Printf("mpc: k=%d t=%d buildRounds=%d collectRounds=%d total=%d\n",
 		res.K, res.T, res.BuildRounds, res.CollectRounds, res.Rounds)
@@ -70,4 +89,18 @@ func main() {
 		}
 		fmt.Printf("query src=%d: worst ratio %.3f (at vertex %d)\n", src, worst, at)
 	}
+}
+
+// fatal reports an interrupted or failed build, including partial progress
+// when the failure was a cancellation.
+func fatal(err error, ev *mpcspanner.ProgressEvent) {
+	if errors.Is(err, mpcspanner.ErrCanceled) {
+		if ev != nil {
+			fmt.Fprintf(os.Stderr, "canceled at %s %d/%d: %d simulated rounds, %d spanner edges so far\n",
+				ev.Stage, ev.Iteration, ev.TotalIterations, ev.Rounds, ev.SpannerEdges)
+		} else {
+			fmt.Fprintln(os.Stderr, "canceled before the first checkpoint")
+		}
+	}
+	log.Fatal(err)
 }

@@ -4,13 +4,19 @@
 //	go run ./cmd/experiments            # full sizes (a few minutes)
 //	go run ./cmd/experiments -quick     # reduced sizes
 //	go run ./cmd/experiments -only T9   # a single experiment
+//
+// Ctrl-C stops between experiments: finished tables are already printed and
+// a summary reports how many completed before the interrupt.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"mpcspanner/internal/bench"
@@ -22,6 +28,9 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. T1,T9,F1)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
@@ -32,12 +41,23 @@ func main() {
 	cfg := bench.Config{Quick: *quick, Seed: *seed}
 	start := time.Now()
 	ran := 0
-	for _, tb := range bench.All(cfg) {
-		if len(want) > 0 && !want[tb.ID] {
-			continue
+	canceled := false
+	for _, e := range bench.Experiments() {
+		if len(want) > 0 && !want[e.ID] {
+			continue // skip before running, not after
 		}
+		if ctx.Err() != nil {
+			canceled = true
+			break
+		}
+		tb := e.Run(cfg)
 		fmt.Println(tb.Format())
 		ran++
+	}
+	if canceled {
+		fmt.Fprintf(os.Stderr, "interrupted after %d experiments in %s; partial results above\n",
+			ran, time.Since(start).Round(time.Millisecond))
+		os.Exit(130)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched -only=%q\n", *only)

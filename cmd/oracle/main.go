@@ -1,7 +1,7 @@
 // Command oracle is the serving-layer driver: it loads or generates a graph,
-// builds the Corollary 1.4 spanner (unless -exact), wraps it in the cached
-// distance oracle, and answers (source, target) queries from a pairs file,
-// stdin, or a synthetic Zipf workload.
+// builds the Corollary 1.4 spanner (unless -exact), wraps it in a cached
+// distance-serving Session, and answers (source, target) queries from a
+// pairs file, stdin, or a synthetic Zipf workload.
 //
 //	go run ./cmd/oracle -gen gnp -n 20000 -deg 10 -synth 50000 -quiet
 //	go run ./cmd/oracle -in graph.txt -pairs queries.txt
@@ -9,19 +9,24 @@
 //
 // Pairs files hold one "u v" pair per line ('#' comments allowed). Results
 // go to stdout, one distance per line in input order; cache statistics and
-// timings go to stderr.
+// timings go to stderr. Ctrl-C cancels the build (and any in-flight batch)
+// at its next checkpoint; already-served batches are flushed.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"mpcspanner"
@@ -49,6 +54,9 @@ func main() {
 	batch := flag.Int("batch", 1024, "serve queries in batches of this size (stats then show cross-batch cache hits); <= 0 = one batch")
 	quiet := flag.Bool("quiet", false, "suppress per-query output, print stats only")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// Bridge disconnected inputs so every served distance is finite — except
 	// in -exact mode, where the input graph must be served untouched and
@@ -82,16 +90,28 @@ func main() {
 			kk, _ = apsp.Params(g.N(), 0) // Corollary 1.4's k = ⌈log₂ n⌉
 		}
 		start := time.Now()
-		res, err := mpcspanner.BuildSpanner(g, mpcspanner.SpannerOptions{K: kk, T: *t, Seed: *seed})
+		buildOpts := []mpcspanner.Option{mpcspanner.WithK(kk), mpcspanner.WithSeed(*seed)}
+		if *t > 0 {
+			buildOpts = append(buildOpts, mpcspanner.WithT(*t))
+		}
+		res, err := mpcspanner.Build(ctx, g, buildOpts...)
 		if err != nil {
+			if errors.Is(err, mpcspanner.ErrCanceled) {
+				fmt.Fprintln(os.Stderr, "canceled during the spanner build; no queries served")
+			}
 			log.Fatal(err)
 		}
-		serve = g.Subgraph(res.EdgeIDs)
+		serve = res.Spanner()
 		fmt.Fprintf(os.Stderr, "spanner: k=%d %d/%d edges, stretch <= %.2f, built in %v\n",
 			kk, serve.M(), g.M(), mpcspanner.StretchBound(kk, res.Stats.T), time.Since(start).Round(time.Millisecond))
 	}
 
-	o := mpcspanner.NewOracle(serve, mpcspanner.OracleOptions{Shards: *shards, MaxRows: *rows, Workers: *workers})
+	s, err := mpcspanner.Serve(ctx, serve, mpcspanner.WithExact(),
+		mpcspanner.WithCacheShards(*shards), mpcspanner.WithCacheRows(*rows),
+		mpcspanner.WithWorkers(*workers))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	bs := *batch
 	if bs <= 0 || bs > len(queries) {
@@ -104,23 +124,32 @@ func main() {
 		if hi > len(queries) {
 			hi = len(queries)
 		}
-		dists = append(dists, o.QueryMany(queries[lo:hi])...)
+		part, err := s.QueryMany(ctx, queries[lo:hi])
+		if err != nil {
+			if errors.Is(err, mpcspanner.ErrCanceled) {
+				fmt.Fprintf(os.Stderr, "canceled mid-serve: %d/%d queries answered\n", lo, len(queries))
+				queries = queries[:lo]
+				break
+			}
+			log.Fatal(err)
+		}
+		dists = append(dists, part...)
 	}
 	elapsed := time.Since(start)
 
 	if !*quiet {
 		w := bufio.NewWriter(os.Stdout)
-		for i, p := range queries {
-			fmt.Fprintf(w, "%d %d %g\n", p.U, p.V, dists[i])
+		for i := range dists {
+			fmt.Fprintf(w, "%d %d %g\n", queries[i].U, queries[i].V, dists[i])
 		}
 		w.Flush()
 	}
-	s := o.Stats()
-	perQ := float64(elapsed.Nanoseconds()) / math.Max(1, float64(len(queries)))
+	st := s.Stats()
+	perQ := float64(elapsed.Nanoseconds()) / math.Max(1, float64(len(dists)))
 	fmt.Fprintf(os.Stderr, "served %d queries in %v (%.0f ns/query)\n",
-		len(queries), elapsed.Round(time.Microsecond), perQ)
+		len(dists), elapsed.Round(time.Microsecond), perQ)
 	fmt.Fprintf(os.Stderr, "cache: hits=%d misses=%d evictions=%d resident=%d\n",
-		s.Hits, s.Misses, s.Evictions, s.Resident)
+		st.Hits, st.Misses, st.Evictions, st.Resident)
 }
 
 // readPairs parses one "u v" pair per line; '-' reads stdin.

@@ -4,14 +4,23 @@
 //	go run ./cmd/spanner -gen gnp -n 100000 -deg 12 -k 16 -t 4
 //	go run ./cmd/spanner -in graph.txt -algo baswana-sen -k 8
 //	go run ./cmd/spanner -gen grid -n 40000 -k 8 -mpc -gamma 0.5
+//
+// Ctrl-C cancels the build gracefully: the construction loop stops at its
+// next checkpoint and the command reports how far it got instead of dying
+// mid-allocation.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"mpcspanner"
 	"mpcspanner/cmd/internal/cliutil"
@@ -32,8 +41,12 @@ func main() {
 	useMPC := flag.Bool("mpc", false, "run on the simulated MPC cluster and report rounds")
 	gamma := flag.Float64("gamma", 0.5, "memory exponent for -mpc")
 	verify := flag.Int("verify", 2000, "edges to sample for stretch verification (0 = skip)")
+	progress := flag.Bool("progress", false, "print per-iteration progress to stderr")
 	out := flag.String("out", "", "write the spanner subgraph to this file")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	g, err := cliutil.MakeGraph(*in, *gen, *n, *deg, *maxW, *seed, false)
 	if err != nil {
@@ -41,48 +54,79 @@ func main() {
 	}
 	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
 
-	if *useMPC {
-		tt := *t
-		if tt <= 0 {
-			tt = defaultT(*k)
+	opts := []mpcspanner.Option{
+		mpcspanner.WithK(*k),
+		mpcspanner.WithSeed(*seed),
+	}
+	if *t > 0 {
+		opts = append(opts, mpcspanner.WithT(*t))
+	}
+	var last atomic.Pointer[mpcspanner.ProgressEvent]
+	track := func(ev mpcspanner.ProgressEvent) {
+		last.Store(&ev)
+		if *progress {
+			fmt.Fprintf(os.Stderr, "progress: %s %s %d/%d (supernodes=%d edges=%d)\n",
+				ev.Algorithm, ev.Stage, ev.Iteration, ev.TotalIterations, ev.Supernodes, ev.SpannerEdges)
 		}
-		res, err := mpcspanner.BuildSpannerMPC(g, *k, tt, *gamma, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("mpc: rounds=%d machines=%d S=%d peakLoad=%d sorts=%d treeOps=%d moved=%d\n",
-			res.Rounds, res.Machines, res.MemoryPerMachine, res.PeakMachineLoad,
-			res.Sorts, res.TreeOps, res.TuplesMoved)
-		report(g, res.EdgeIDs, mpcspanner.StretchBound(*k, tt), *verify, *seed, *out)
-		return
+	}
+	opts = append(opts, mpcspanner.WithProgress(track))
+
+	mpcT := *t
+	if mpcT <= 0 {
+		mpcT = defaultT(*k) // the historical ⌈log₂ k⌉ default of -mpc mode
+	}
+	switch {
+	case *useMPC:
+		opts = append(opts, mpcspanner.WithAlgorithm(mpcspanner.AlgoMPC),
+			mpcspanner.WithGamma(*gamma), mpcspanner.WithT(mpcT))
+	case *algo == "unweighted":
+		opts = append(opts, mpcspanner.WithAlgorithm(mpcspanner.AlgoUnweighted))
+	default:
+		opts = append(opts, mpcspanner.WithAlgorithm(mpcspanner.Algorithm(*algo)), mpcspanner.WithMeasureRadius())
 	}
 
-	if *algo == "unweighted" {
-		res, err := mpcspanner.BuildUnweightedSpanner(g, *k, mpcspanner.UnweightedOptions{Seed: *seed})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("unweighted: sparse=%d dense=%d |Z|=%d rounds=%d\n",
-			res.Stats.SparseCount, res.Stats.DenseCount, res.Stats.HittingSetSize, res.Stats.Rounds)
-		report(g, res.EdgeIDs, res.Stats.StretchBound, *verify, *seed, *out)
-		return
-	}
-
-	res, err := mpcspanner.BuildSpanner(g, mpcspanner.SpannerOptions{
-		Algorithm: mpcspanner.Algorithm(*algo), K: *k, T: *t, Seed: *seed, MeasureRadius: true,
-	})
+	res, err := mpcspanner.Build(ctx, g, opts...)
 	if err != nil {
+		if errors.Is(err, mpcspanner.ErrCanceled) {
+			reportCanceled(last.Load())
+		}
 		log.Fatal(err)
 	}
-	st := res.Stats
-	fmt.Printf("%s: k=%d t=%d iterations=%d epochs=%d phase1=%d phase2=%d radiusHops=%d\n",
-		st.Algorithm, st.K, st.T, st.Iterations, st.Epochs, st.Phase1Edges, st.Phase2Edges,
-		st.Radius.MaxHops)
-	bound := mpcspanner.StretchBound(st.K, st.T)
-	if st.Algorithm == "baswana-sen" {
-		bound = float64(2*st.K - 1)
+
+	var bound float64
+	switch {
+	case res.MPC != nil:
+		m := res.MPC
+		fmt.Printf("mpc: rounds=%d machines=%d S=%d peakLoad=%d sorts=%d treeOps=%d moved=%d\n",
+			m.Rounds, m.Machines, m.MemoryPerMachine, m.PeakMachineLoad, m.Sorts, m.TreeOps, m.TuplesMoved)
+		bound = mpcspanner.StretchBound(*k, mpcT)
+	case res.Unweighted != nil:
+		u := res.Unweighted
+		fmt.Printf("unweighted: sparse=%d dense=%d |Z|=%d rounds=%d\n",
+			u.SparseCount, u.DenseCount, u.HittingSetSize, u.Rounds)
+		bound = u.StretchBound
+	default:
+		st := res.Stats
+		fmt.Printf("%s: k=%d t=%d iterations=%d epochs=%d phase1=%d phase2=%d radiusHops=%d\n",
+			st.Algorithm, st.K, st.T, st.Iterations, st.Epochs, st.Phase1Edges, st.Phase2Edges,
+			st.Radius.MaxHops)
+		bound = mpcspanner.StretchBound(st.K, st.T)
+		if st.Algorithm == "baswana-sen" {
+			bound = float64(2*st.K - 1)
+		}
 	}
 	report(g, res.EdgeIDs, bound, *verify, *seed, *out)
+}
+
+// reportCanceled prints how far an interrupted build got before its context
+// was honored.
+func reportCanceled(ev *mpcspanner.ProgressEvent) {
+	if ev == nil {
+		fmt.Fprintln(os.Stderr, "canceled before the first checkpoint")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "canceled at %s %s %d/%d: %d spanner edges selected so far\n",
+		ev.Algorithm, ev.Stage, ev.Iteration, ev.TotalIterations, ev.SpannerEdges)
 }
 
 func defaultT(k int) int {

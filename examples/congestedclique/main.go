@@ -1,12 +1,14 @@
 // Congestedclique: the Section 8 results end to end — Theorem 8.1's w.h.p.
 // spanner (per-iteration selection among O(log n) parallel sampling runs)
 // and Corollary 1.5's sublogarithmic weighted-APSP approximation, with the
-// clique's round bill itemized.
+// clique's round bill itemized. Both run through the context-aware v1
+// surface.
 //
 //	go run ./examples/congestedclique
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -15,6 +17,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	n := 2000
 	g := mpcspanner.Connectify(
 		mpcspanner.GNP(n, 12.0/float64(n), mpcspanner.UniformWeight(1, 50), 13), 50)
@@ -22,16 +26,22 @@ func main() {
 
 	// Theorem 8.1: spanner with w.h.p. size guarantee.
 	k, t := 11, 2
-	sp, err := mpcspanner.BuildSpannerCongestedClique(g, k, t, 17)
+	res, err := mpcspanner.Build(ctx, g,
+		mpcspanner.WithAlgorithm(mpcspanner.AlgoCongestedClique),
+		mpcspanner.WithK(k),
+		mpcspanner.WithT(t),
+		mpcspanner.WithSeed(17),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("spanner (k=%d t=%d): %d edges in %d rounds\n", k, t, len(sp.EdgeIDs), sp.Rounds)
+	sp := res.CC
+	fmt.Printf("spanner (k=%d t=%d): %d edges in %d rounds\n", k, t, res.Size(), sp.Rounds)
 	fmt.Printf("whp selection: %d parallel runs/iteration, %d/%d iterations settled by the two-event criterion\n",
 		sp.WHP.Runs, sp.WHP.GoodCount, len(sp.WHP.Choices))
 
 	// Corollary 1.5: every node learns the spanner and answers locally.
-	ap, err := mpcspanner.ApproxAPSPCongestedClique(g, 19)
+	ap, err := mpcspanner.ApproxAPSPCongestedCliqueCtx(ctx, g, mpcspanner.WithSeed(19))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,13 @@
-// Quickstart: build a spanner with the public API, inspect its guarantees,
-// and verify the stretch empirically.
+// Quickstart: build a spanner with the v1 API, inspect its guarantees, and
+// verify the stretch empirically. Build takes a context — pass one with a
+// timeout or wired to Ctrl-C and the construction stops at its next
+// iteration checkpoint.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,17 +15,19 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A weighted random graph: 5 000 vertices, average degree ~12.
 	g := mpcspanner.GNP(5000, 12.0/5000, mpcspanner.UniformWeight(1, 100), 42)
 	fmt.Printf("input graph: %d vertices, %d edges\n", g.N(), g.M())
 
 	// Build a spanner with the paper's general algorithm at its t = log k
 	// sweet spot: stretch k^{1+o(1)} in O(log²k/log log k) iterations.
-	res, err := mpcspanner.BuildSpanner(g, mpcspanner.SpannerOptions{
-		K:             8,
-		Seed:          1,
-		MeasureRadius: true,
-	})
+	res, err := mpcspanner.Build(ctx, g,
+		mpcspanner.WithK(8),
+		mpcspanner.WithSeed(1),
+		mpcspanner.WithMeasureRadius(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +39,7 @@ func main() {
 
 	// The paper's guarantee, and the truth on this instance.
 	bound := mpcspanner.StretchBound(st.K, st.T)
-	rep, err := mpcspanner.Verify(g, res, bound)
+	rep, err := res.Verify(bound)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,12 +1,13 @@
 // Roadgrid: approximate all-pairs shortest paths on a weighted grid (a
-// road-network stand-in) via the Section 7 pipeline — build a near-linear
-// spanner in simulated MPC, collect it onto one machine, answer distance
-// queries locally with a certified approximation.
+// road-network stand-in) via the Section 7 pipeline, served through the v1
+// Session: build a near-linear spanner in simulated MPC, collect it onto
+// one machine, and answer cached distance queries under a context.
 //
 //	go run ./examples/roadgrid
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,14 +16,19 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A 120×120 grid with road-like weights (travel times 1–10).
 	g := mpcspanner.Grid(120, 120, mpcspanner.UniformWeight(1, 10), 99)
 	fmt.Printf("road grid: n=%d m=%d\n", g.N(), g.M())
 
-	res, err := mpcspanner.ApproxAPSP(g, mpcspanner.APSPOptions{Seed: 5})
+	// Serve runs the Corollary 1.4 pipeline and wraps the collected spanner
+	// in a cached, concurrency-safe serving session.
+	s, err := mpcspanner.Serve(ctx, g, mpcspanner.WithSeed(5))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := s.APSP()
 	fmt.Printf("pipeline: k=%d t=%d, %d simulated MPC rounds (%d build + %d collect)\n",
 		res.K, res.T, res.Rounds, res.BuildRounds, res.CollectRounds)
 	fmt.Printf("spanner: %d edges — %.1f%% of the graph, fits one Õ(n)-machine: %v\n",
@@ -30,18 +36,24 @@ func main() {
 
 	// Answer a few routing queries and compare against exact Dijkstra.
 	for _, src := range []int{0, 7260, 14399} {
-		approx := res.DistancesFrom(src)
-		exact := dist.Dijkstra(g, src)
 		dst := g.N() - 1 - src
+		approx, err := s.Query(ctx, src, dst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact := dist.Dijkstra(g, src)
 		fmt.Printf("route %5d -> %5d: approx %.0f vs exact %.0f (ratio %.3f, certified <= %.1f)\n",
-			src, dst, approx[dst], exact[dst], approx[dst]/exact[dst], res.Bound)
+			src, dst, approx, exact[dst], approx/exact[dst], res.Bound)
 	}
 
-	// Distribution of the approximation over sampled pairs.
+	// Distribution of the approximation over sampled pairs, and the serving
+	// cache after the queries above.
 	qs, err := res.MeasureCDF(12, []float64{0.5, 0.9, 0.99, 1}, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("pair-ratio quantiles: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
 		qs[0], qs[1], qs[2], qs[3])
+	st := s.Stats()
+	fmt.Printf("cache: hits=%d misses=%d resident=%d\n", st.Hits, st.Misses, st.Resident)
 }

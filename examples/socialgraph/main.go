@@ -1,13 +1,14 @@
 // Socialgraph: the workload class the paper's introduction motivates —
 // heavy-tailed social networks too large to process centrally. This example
 // compares the algorithm family head-to-head on a preferential-attachment
-// graph: iterations (= parallel rounds up to the 1/γ factor), spanner size,
-// and measured stretch.
+// graph through the single Build entry point: iterations (= parallel rounds
+// up to the 1/γ factor), spanner size, and measured stretch.
 //
 //	go run ./examples/socialgraph
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Preferential attachment: hubs with degrees in the hundreds, exactly
 	// where single-machine distance computations stop scaling.
 	g := mpcspanner.PreferentialAttachment(20000, 8, mpcspanner.ExpWeight(10), 7)
@@ -27,9 +30,11 @@ func main() {
 		mpcspanner.AlgoGeneral,      // §5 at t=log k: k^{1+o(1)} stretch
 		mpcspanner.AlgoClusterMerge, // §4: log k rounds, stretch k^{log 3}
 	} {
-		res, err := mpcspanner.BuildSpanner(g, mpcspanner.SpannerOptions{
-			Algorithm: algo, K: k, Seed: 3,
-		})
+		res, err := mpcspanner.Build(ctx, g,
+			mpcspanner.WithAlgorithm(algo),
+			mpcspanner.WithK(k),
+			mpcspanner.WithSeed(3),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -38,13 +43,15 @@ func main() {
 	}
 
 	// The winning trade-off for this workload, verified on a sample.
-	res, err := mpcspanner.BuildSpanner(g, mpcspanner.SpannerOptions{
-		Algorithm: mpcspanner.AlgoGeneral, K: k, Seed: 3,
-	})
+	res, err := mpcspanner.Build(ctx, g,
+		mpcspanner.WithAlgorithm(mpcspanner.AlgoGeneral),
+		mpcspanner.WithK(k),
+		mpcspanner.WithSeed(3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	h := res.Spanner(g)
+	h := res.Spanner()
 	fmt.Printf("\nchosen spanner keeps %.1f%% of edges; distances now fit one machine's memory\n",
 		100*float64(h.M())/float64(g.M()))
 }

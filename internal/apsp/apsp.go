@@ -11,10 +11,12 @@
 package apsp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/mpc"
@@ -43,6 +45,11 @@ type Options struct {
 	// Results are bit-identical at every worker count; negative values are
 	// rejected with a descriptive error.
 	Workers int
+
+	// Progress, when non-nil, receives the build's checkpoint events (the
+	// MPC driver's "mpc-*" stages plus one final "collect" event). Same
+	// contract as mpc.Options.Progress.
+	Progress func(core.ProgressEvent)
 }
 
 // Result is a completed Corollary 1.4 run.
@@ -87,6 +94,15 @@ func Params(n, forcedT int) (k, t int) {
 
 // Approx runs the Section 7 pipeline.
 func Approx(g *graph.Graph, opt Options) (*Result, error) {
+	return ApproxCtx(context.Background(), g, opt)
+}
+
+// ApproxCtx is Approx under a context: the underlying MPC build checkpoints
+// ctx once per simulated grow iteration and one more checkpoint precedes the
+// collection step; a canceled context yields core.Canceled(ctx.Err()),
+// matching errors.Is against both core.ErrCanceled and ctx.Err().
+// Uncanceled runs are bit-identical to Approx at every worker count.
+func ApproxCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 	if g.N() < 2 {
 		return nil, fmt.Errorf("apsp: need at least two vertices, got %d", g.N())
 	}
@@ -99,8 +115,12 @@ func Approx(g *graph.Graph, opt Options) (*Result, error) {
 	}
 	k, t := Params(g.N(), opt.T)
 
-	build, err := mpc.BuildSpannerOpts(g, k, t, opt.Seed, mpc.Options{Gamma: gamma, Workers: opt.Workers})
+	build, err := mpc.BuildSpannerCtx(ctx, g, k, t, opt.Seed,
+		mpc.Options{Gamma: gamma, Workers: opt.Workers, Progress: opt.Progress})
 	if err != nil {
+		return nil, err
+	}
+	if err := core.Check(ctx); err != nil {
 		return nil, err
 	}
 
@@ -131,6 +151,10 @@ func Approx(g *graph.Graph, opt Options) (*Result, error) {
 		g:                g,
 		spanner:          g.Subgraph(build.EdgeIDs),
 		workers:          opt.Workers,
+	}
+	if opt.Progress != nil {
+		opt.Progress(core.ProgressEvent{Stage: "collect", Algorithm: "apsp",
+			Rounds: res.Rounds, SpannerEdges: res.SpannerSize})
 	}
 	if !res.FitsOneMachine {
 		return res, fmt.Errorf("apsp: spanner of %d edges exceeds the near-linear machine's %d words",

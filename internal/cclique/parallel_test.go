@@ -1,10 +1,13 @@
 package cclique
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"runtime"
 	"testing"
 
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/graph"
 )
 
@@ -109,5 +112,57 @@ func TestLenzenParallelBudgets(t *testing.T) {
 	}
 	if _, err := parC.Lenzen(over); err == nil {
 		t.Fatal("budget violation accepted by parallel counter")
+	}
+}
+
+// TestCancellationSemanticsCClique pins the context contract of the Theorem
+// 8.1 and Corollary 1.5 pipelines: fail-fast classification on a canceled
+// context, a bounded number of checkpoints after a mid-run cancel, and
+// bit-identity of live-context runs with the context-free path.
+func TestCancellationSemanticsCClique(t *testing.T) {
+	g := graph.GNP(300, 0.05, graph.UniformWeight(1, 40), 31)
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := BuildSpannerCtx(pre, g, 6, 2, 1, BuildOptions{}); !errors.Is(err, context.Canceled) || !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("BuildSpannerCtx(canceled) = %v, want context.Canceled/core.ErrCanceled", err)
+	}
+	if _, err := ApproxAPSPCtx(pre, g, 1, BuildOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ApproxAPSPCtx(canceled) = %v, want context.Canceled", err)
+	}
+
+	// Mid-run cancel via the WHP engine's progress checkpoints.
+	ctx, cancel := context.WithCancel(context.Background())
+	after := 0
+	fired := false
+	_, err := BuildSpannerCtx(ctx, g, 8, 2, 3, BuildOptions{
+		Progress: func(ev core.ProgressEvent) {
+			if fired {
+				after++
+			}
+			fired = true
+			cancel()
+		}})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel = %v, want context.Canceled", err)
+	}
+	if after > 1 {
+		t.Fatalf("%d checkpoints fired after the cancel, want <= 1", after)
+	}
+
+	// Live contexts change nothing, at serial and parallel worker counts.
+	for _, w := range []int{1, pinWorkers()} {
+		plain, err := BuildSpannerOpts(g, 6, 2, 21, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withCtx, err := BuildSpannerCtx(context.Background(), g, 6, 2, 21, BuildOptions{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, withCtx) {
+			t.Fatalf("workers=%d: context-free and live-context clique builds differ", w)
+		}
 	}
 }

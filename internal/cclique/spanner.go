@@ -1,13 +1,27 @@
 package cclique
 
 import (
+	"context"
 	"fmt"
 
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/par"
 	"mpcspanner/internal/spanner"
 )
+
+// BuildOptions is the full option surface of the context-aware entry points.
+type BuildOptions struct {
+	// Workers sizes the goroutine pool the simulated nodes' local work runs
+	// on (par conventions: 0 = GOMAXPROCS, 1 = serial; negatives rejected).
+	Workers int
+
+	// Progress, when non-nil, receives the engine's checkpoint events (the
+	// WHP engine emits "grow"/"contract"/"phase2" with algorithm
+	// "general-whp"). Same contract as spanner.Options.Progress.
+	Progress func(core.ProgressEvent)
+}
 
 // Per-iteration round constants of the semi-MPC execution (Theorem 8.1):
 // one round carries the O(log n)-bit sampling-outcome word of all parallel
@@ -45,18 +59,27 @@ func BuildSpanner(g *graph.Graph, k, t int, seed uint64) (*SpannerResult, error)
 // The spanner, round bill and WHP selection are bit-identical at every
 // worker count.
 func BuildSpannerOpts(g *graph.Graph, k, t int, seed uint64, workers int) (*SpannerResult, error) {
+	return BuildSpannerCtx(context.Background(), g, k, t, seed, BuildOptions{Workers: workers})
+}
+
+// BuildSpannerCtx is BuildSpanner with the full option surface under a
+// context: the WHP engine checkpoints ctx once per grow iteration and the
+// call returns core.Canceled(ctx.Err()) at the first checkpoint after
+// cancellation. Uncanceled runs are bit-identical to BuildSpannerOpts.
+func BuildSpannerCtx(ctx context.Context, g *graph.Graph, k, t int, seed uint64, opt BuildOptions) (*SpannerResult, error) {
 	if g.N() < 1 {
 		return nil, fmt.Errorf("cclique: empty graph")
 	}
-	if err := par.CheckWorkers("cclique: workers", workers); err != nil {
+	if err := par.CheckWorkers("cclique: BuildOptions.Workers", opt.Workers); err != nil {
 		return nil, err
 	}
 	c, err := New(g.N())
 	if err != nil {
 		return nil, err
 	}
-	c.SetWorkers(workers)
-	res, whp, err := spanner.GeneralWHP(g, k, t, 0, spanner.Options{Seed: seed, Workers: workers})
+	c.SetWorkers(opt.Workers)
+	res, whp, err := spanner.GeneralWHPCtx(ctx, g, k, t, 0,
+		spanner.Options{Seed: seed, Workers: opt.Workers, Progress: opt.Progress})
 	if err != nil {
 		return nil, err
 	}
@@ -106,9 +129,19 @@ func ApproxAPSP(g *graph.Graph, seed uint64) (*APSPResult, error) {
 
 // ApproxAPSPOpts is ApproxAPSP with an explicit worker pool size.
 func ApproxAPSPOpts(g *graph.Graph, seed uint64, workers int) (*APSPResult, error) {
+	return ApproxAPSPCtx(context.Background(), g, seed, BuildOptions{Workers: workers})
+}
+
+// ApproxAPSPCtx is ApproxAPSP with the full option surface under a context
+// (see BuildSpannerCtx for the cancellation contract; the collection step
+// follows one final checkpoint after the build).
+func ApproxAPSPCtx(ctx context.Context, g *graph.Graph, seed uint64, opt BuildOptions) (*APSPResult, error) {
 	k, t := APSPParams(g.N())
-	sp, err := BuildSpannerOpts(g, k, t, seed, workers)
+	sp, err := BuildSpannerCtx(ctx, g, k, t, seed, opt)
 	if err != nil {
+		return nil, err
+	}
+	if err := core.Check(ctx); err != nil {
 		return nil, err
 	}
 	c, err := New(g.N())

@@ -1,11 +1,13 @@
 package mpc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
 
 	"mpcspanner/internal/cluster"
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/par"
 	"mpcspanner/internal/spanner"
@@ -71,6 +73,13 @@ type Options struct {
 	// Rounds, memory accounting and the constructed spanner are
 	// bit-identical at every worker count; negative values are rejected.
 	Workers int
+
+	// Progress, when non-nil, receives one core.ProgressEvent per simulated
+	// checkpoint ("mpc-grow" per grow iteration, "mpc-contract" per epoch,
+	// "mpc-phase2"), carrying the round bill so far. Emitted synchronously
+	// from the driver loop; the callback must not call back into the
+	// simulator.
+	Progress func(core.ProgressEvent)
 }
 
 // Result reports a distributed spanner construction: the spanner itself plus
@@ -104,27 +113,38 @@ type Result struct {
 // returned spanner is bit-identical to spanner.General's — the test suite
 // asserts this cross-plane equality.
 func BuildSpanner(g *graph.Graph, k, t int, gamma float64, seed uint64) (*Result, error) {
-	return BuildSpannerOpts(g, k, t, seed, Options{Gamma: gamma})
+	return BuildSpannerCtx(context.Background(), g, k, t, seed, Options{Gamma: gamma})
 }
 
 // BuildSpannerOpts is BuildSpanner with the full option surface: each
 // simulated machine's local pass runs as a real goroutine of a pool of
 // opt.Workers, without touching the model-level accounting.
 func BuildSpannerOpts(g *graph.Graph, k, t int, seed uint64, opt Options) (*Result, error) {
+	return BuildSpannerCtx(context.Background(), g, k, t, seed, opt)
+}
+
+// BuildSpannerCtx is BuildSpannerOpts under a context: the driver
+// checkpoints ctx once per simulated grow iteration (the round-level chunk
+// of Section 6) and returns core.Canceled(ctx.Err()) — matching errors.Is
+// against both core.ErrCanceled and ctx.Err() — at the first checkpoint
+// after cancellation, with the worker pool joined. Uncanceled runs are
+// bit-identical to BuildSpannerOpts at every worker count.
+func BuildSpannerCtx(ctx context.Context, g *graph.Graph, k, t int, seed uint64, opt Options) (*Result, error) {
 	if k < 1 || t < 1 {
-		return nil, fmt.Errorf("mpc: parameters must satisfy k >= 1 and t >= 1 (got k=%d t=%d)", k, t)
+		return nil, &core.OptionError{Field: "mpc: (k, t)", Value: fmt.Sprintf("(%d, %d)", k, t),
+			Reason: "parameters must satisfy k >= 1 and t >= 1"}
 	}
 	if err := par.CheckWorkers("mpc: Options.Workers", opt.Workers); err != nil {
 		return nil, err
 	}
-	return buildSpanner(g, k, t, seed, opt, newKeyEncoding(g, opt.Workers))
+	return buildSpanner(ctx, g, k, t, seed, opt, newKeyEncoding(g, opt.Workers))
 }
 
-// buildSpanner is BuildSpannerOpts after option validation, with the sort
+// buildSpanner is BuildSpannerCtx after option validation, with the sort
 // strategy pinned: enc != nil runs every global sort as a radix-keyed
 // shuffle, enc == nil runs the comparator fallback. Both produce the same
 // spanner and the same round bill (the equivalence tests exercise the pair).
-func buildSpanner(g *graph.Graph, k, t int, seed uint64, opt Options, enc *keyEncoding) (*Result, error) {
+func buildSpanner(ctx context.Context, g *graph.Graph, k, t int, seed uint64, opt Options, enc *keyEncoding) (*Result, error) {
 	sim, err := NewSim(g.N(), 2*g.M(), opt.Gamma)
 	if err != nil {
 		return nil, err
@@ -149,7 +169,21 @@ func buildSpanner(g *graph.Graph, k, t int, seed uint64, opt Options, enc *keyEn
 	ds := newDriverScratch(g.M(), sim.Workers())
 	n := float64(g.N())
 
-	for _, spec := range spanner.Schedule(k, t) {
+	// Iteration reports the driver's global grow-iteration count so the
+	// fraction of TotalIterations is monotone; the simulated plane tracks
+	// live edges (tuple pairs), not supernodes.
+	emit := func(stage string, epoch, total int) {
+		if opt.Progress != nil {
+			opt.Progress(core.ProgressEvent{Stage: stage, Algorithm: "general",
+				Epoch: epoch, Iteration: res.Iterations, TotalIterations: total,
+				AliveEdges: sim.Len() / 2, SpannerEdges: ds.spanCount, Rounds: sim.Rounds()})
+		}
+	}
+	schedule := spanner.Schedule(k, t)
+	for _, spec := range schedule {
+		if err := core.Check(ctx); err != nil {
+			return nil, err
+		}
 		if sim.Len() == 0 {
 			break
 		}
@@ -158,22 +192,28 @@ func buildSpanner(g *graph.Graph, k, t int, seed uint64, opt Options, enc *keyEn
 			return nil, err
 		}
 		res.Iterations++
+		emit("mpc-grow", spec.Epoch, len(schedule))
 		if spec.LastOfEpoch && sim.Len() > 0 {
 			if err := contractDistributed(sim, enc); err != nil {
 				return nil, err
 			}
 			res.Epochs++
+			emit("mpc-contract", spec.Epoch, len(schedule))
 		}
 	}
 
 	// Phase 2: one more dedup pass (idempotent after a trailing
 	// contraction), then every surviving representative joins the spanner.
+	if err := core.Check(ctx); err != nil {
+		return nil, err
+	}
 	if sim.Len() > 0 {
 		if err := dedupPairs(sim, enc); err != nil {
 			return nil, err
 		}
 		sim.Scan(func(t *Tuple) { ds.addSpanner(t.Orig) })
 	}
+	emit("mpc-phase2", 0, len(schedule))
 
 	// The spanner membership bitmap is indexed by edge id, so the ascending
 	// scan yields EdgeIDs already sorted.

@@ -1,6 +1,7 @@
 package mpc
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -151,11 +152,11 @@ func TestSortByKeyFullRangeKeys(t *testing.T) {
 func TestKeyedAndFallbackBuildsAgree(t *testing.T) {
 	g := graph.Connectify(graph.GNP(400, 0.03, graph.UniformWeight(1, 8), 3), 11)
 	opt := Options{Gamma: 0.5, Workers: 1}
-	keyed, err := buildSpanner(g, 6, 2, 42, opt, newKeyEncoding(g, 1))
+	keyed, err := buildSpanner(context.Background(), g, 6, 2, 42, opt, newKeyEncoding(g, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	fallback, err := buildSpanner(g, 6, 2, 42, opt, nil)
+	fallback, err := buildSpanner(context.Background(), g, 6, 2, 42, opt, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,13 @@
 package mpc
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"runtime"
 	"testing"
 
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/spanner"
 )
@@ -182,4 +185,51 @@ func TestKeepMaskCompacts(t *testing.T) {
 		}
 	}()
 	s.Keep(make([]bool, 3))
+}
+
+// TestCancellationSemanticsMPC pins the driver's context contract: fail-fast
+// classification on a pre-canceled context, bounded checkpoints after a
+// mid-run cancel, and bit-identity of live-context runs with the
+// context-free path at every worker count.
+func TestCancellationSemanticsMPC(t *testing.T) {
+	g := graph.GNP(400, 0.04, graph.UniformWeight(1, 60), 23)
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := BuildSpannerCtx(pre, g, 6, 2, 1, Options{Gamma: 0.5}); !errors.Is(err, context.Canceled) || !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("BuildSpannerCtx(canceled) = %v, want context.Canceled/core.ErrCanceled", err)
+	}
+
+	for _, workers := range []int{1, pinWorkers()} {
+		ctx, cancel := context.WithCancel(context.Background())
+		after := 0
+		fired := false
+		_, err := BuildSpannerCtx(ctx, g, 8, 2, 3, Options{Gamma: 0.5, Workers: workers,
+			Progress: func(ev core.ProgressEvent) {
+				if fired {
+					after++
+				}
+				fired = true
+				cancel()
+			}})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: mid-run cancel = %v, want context.Canceled", workers, err)
+		}
+		if after > 1 {
+			t.Fatalf("workers=%d: %d checkpoints fired after the cancel, want <= 1", workers, after)
+		}
+
+		plain, err := BuildSpannerOpts(g, 6, 2, 21, Options{Gamma: 0.5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		withCtx, err := BuildSpannerCtx(context.Background(), g, 6, 2, 21, Options{Gamma: 0.5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, withCtx) {
+			t.Fatalf("workers=%d: context-free and live-context MPC runs differ", workers)
+		}
+	}
 }

@@ -27,11 +27,13 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/par"
@@ -157,11 +159,44 @@ func (o *Oracle) checkVertex(v int) {
 	}
 }
 
+// vertexErr is checkVertex for the context-aware entry points, which report
+// bad queries as typed errors instead of panicking.
+func (o *Oracle) vertexErr(field string, v int) error {
+	if v < 0 || v >= o.g.N() {
+		return &core.OptionError{Field: field, Value: v,
+			Reason: fmt.Sprintf("vertex out of range [0,%d)", o.g.N())}
+	}
+	return nil
+}
+
 // Query returns the distance from u to v (dist.Inf when unreachable). The
 // row is cached under source u. It panics if u or v is not a vertex.
 func (o *Oracle) Query(u, v int) float64 {
 	o.checkVertex(v)
 	return o.Row(u)[v]
+}
+
+// QueryCtx is Query under a context: a bad vertex or a done context returns
+// a typed error (*core.OptionError / core.Canceled) instead of panicking.
+// Cancellation is checkpointed at entry (so a done context fails regardless
+// of cache residency), before a fresh computation starts, and while waiting
+// on another goroutine's in-flight computation; a Dijkstra already running
+// completes (and is cached) regardless.
+func (o *Oracle) QueryCtx(ctx context.Context, u, v int) (float64, error) {
+	if err := o.vertexErr("oracle: Query.U", u); err != nil {
+		return 0, err
+	}
+	if err := o.vertexErr("oracle: Query.V", v); err != nil {
+		return 0, err
+	}
+	if err := core.Check(ctx); err != nil {
+		return 0, err
+	}
+	row, err := o.row(ctx, u)
+	if err != nil {
+		return 0, err
+	}
+	return row[v], nil
 }
 
 // Row returns the full distance row from src, computing and caching it on a
@@ -170,19 +205,56 @@ func (o *Oracle) Query(u, v int) float64 {
 // not the slice). It panics if src is not a vertex.
 func (o *Oracle) Row(src int) []float64 {
 	o.checkVertex(src)
+	row, _ := o.row(nil, src) // nil context: row never fails
+	return row
+}
+
+// RowCtx is Row under a context (see QueryCtx for the checkpoint
+// granularity). The returned slice is shared with the cache and must not be
+// mutated.
+func (o *Oracle) RowCtx(ctx context.Context, src int) ([]float64, error) {
+	if err := o.vertexErr("oracle: Row.Src", src); err != nil {
+		return nil, err
+	}
+	// Entry checkpoint: a done context is reported uniformly, whether or not
+	// the row happens to be resident.
+	if err := core.Check(ctx); err != nil {
+		return nil, err
+	}
+	return o.row(ctx, src)
+}
+
+// row acquires the distance row for a validated source. With a nil ctx it
+// never fails; with a live ctx it checkpoints before starting a fresh
+// computation and while waiting on an in-flight one. Once this goroutine has
+// registered itself as the computing goroutine it always finishes and
+// publishes the row — waiters can never be stranded by a canceled computer.
+func (o *Oracle) row(ctx context.Context, src int) ([]float64, error) {
 	sh := &o.shards[src%len(o.shards)]
 	sh.mu.Lock()
 	if e, ok := sh.rows[src]; ok {
 		sh.moveToFront(e)
 		sh.mu.Unlock()
 		o.hits.Add(1)
-		return e.row
+		return e.row, nil
 	}
 	if c, ok := sh.inflight[src]; ok {
 		sh.mu.Unlock()
-		<-c.done // another goroutine is computing this row; share it
+		if ctx != nil {
+			select {
+			case <-c.done: // another goroutine computed this row; share it
+			case <-ctx.Done():
+				return nil, core.Canceled(ctx.Err())
+			}
+		} else {
+			<-c.done
+		}
 		o.hits.Add(1)
-		return c.row
+		return c.row, nil
+	}
+	if err := core.Check(ctx); err != nil {
+		sh.mu.Unlock()
+		return nil, err
 	}
 	c := &call{done: make(chan struct{})}
 	sh.inflight[src] = c
@@ -204,7 +276,7 @@ func (o *Oracle) Row(src int) []float64 {
 	}
 	sh.mu.Unlock()
 	close(c.done)
-	return c.row
+	return c.row, nil
 }
 
 // peek returns the row for src iff it is already resident, counting a hit
@@ -237,6 +309,35 @@ func (o *Oracle) QueryMany(pairs []Pair) []float64 {
 		o.checkVertex(p.U)
 		o.checkVertex(p.V)
 	}
+	out, _ := o.queryMany(nil, pairs) // nil context: queryMany never fails
+	return out
+}
+
+// QueryManyCtx is QueryMany under a context: bad pairs return a typed
+// *core.OptionError before any work is fanned out, and cancellation is
+// checkpointed between sources — each pool worker re-checks ctx before
+// claiming its next uncached source, so a canceled batch returns
+// core.Canceled(ctx.Err()) within one row computation, with every worker
+// joined and no goroutine leaked.
+func (o *Oracle) QueryManyCtx(ctx context.Context, pairs []Pair) ([]float64, error) {
+	for _, p := range pairs {
+		if err := o.vertexErr("oracle: Pair.U", p.U); err != nil {
+			return nil, err
+		}
+		if err := o.vertexErr("oracle: Pair.V", p.V); err != nil {
+			return nil, err
+		}
+	}
+	// Entry checkpoint: a canceled batch fails uniformly, even when every
+	// source is already resident.
+	if err := core.Check(ctx); err != nil {
+		return nil, err
+	}
+	return o.queryMany(ctx, pairs)
+}
+
+// queryMany answers a validated batch; ctx may be nil (never fails then).
+func (o *Oracle) queryMany(ctx context.Context, pairs []Pair) ([]float64, error) {
 	out := make([]float64, len(pairs))
 	// Group pair indices by source, preserving first-seen source order so
 	// the fan-out below is stable.
@@ -261,45 +362,66 @@ func (o *Oracle) QueryMany(pairs []Pair) []float64 {
 		}
 	}
 	if len(missing) == 0 {
-		return out
+		return out, nil
 	}
 	// Fan the uncached sources over the pool. Each worker holds the row it
 	// acquired while filling its slots, so a concurrent eviction cannot
-	// invalidate the batch.
+	// invalidate the batch. Workers re-check ctx before claiming each
+	// source (the batch's cancellation checkpoint) and always drain through
+	// wg.Wait, so cancellation leaks nothing.
 	workers := o.workers
 	if workers > len(missing) {
 		workers = len(missing)
 	}
 	if workers <= 1 {
 		for _, src := range missing {
-			row := o.Row(src)
+			row, err := o.row(ctx, src)
+			if err != nil {
+				return nil, err
+			}
 			for _, i := range bySrc[src] {
 				out[i] = row[pairs[i].V]
 			}
 		}
-		return out
+		return out, nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	errAt := make([]error, workers)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
+				if core.Check(ctx) != nil {
+					return // the post-join Check reports the cancellation
+				}
 				j := int(next.Add(1)) - 1
 				if j >= len(missing) {
 					return
 				}
 				src := missing[j]
-				row := o.Row(src)
+				row, err := o.row(ctx, src)
+				if err != nil {
+					errAt[w] = err
+					return
+				}
 				for _, i := range bySrc[src] {
 					out[i] = row[pairs[i].V]
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	return out
+	for _, err := range errAt {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := core.Check(ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // zipfShards is the fixed shard count of ZipfWorkload generation. Fixed —

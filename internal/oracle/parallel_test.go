@@ -1,0 +1,106 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mpcspanner/internal/core"
+	"mpcspanner/internal/graph"
+)
+
+// TestCancellationSemanticsOracle pins the serving layer's context contract:
+// typed classification for canceled queries, checkpointing between batch
+// sources, no stranded singleflight waiters, and identical answers with and
+// without a live context.
+func TestCancellationSemanticsOracle(t *testing.T) {
+	g := graph.Connectify(graph.GNP(300, 0.04, graph.UniformWeight(1, 30), 51), 30)
+	o := New(g, Options{MaxRows: 16, Workers: 4})
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := o.RowCtx(pre, 0); !errors.Is(err, context.Canceled) || !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("RowCtx(canceled) = %v, want context.Canceled/core.ErrCanceled", err)
+	}
+	if _, err := o.QueryCtx(pre, 0, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryCtx(canceled) = %v", err)
+	}
+	pairs := ZipfWorkload(g.N(), 200, 1.2, 7)
+	if _, err := o.QueryManyCtx(pre, pairs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryManyCtx(canceled) = %v", err)
+	}
+
+	// Cancellation classifies uniformly regardless of cache residency: warm
+	// the rows, then re-issue the same canceled calls.
+	if _, err := o.QueryManyCtx(context.Background(), pairs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.RowCtx(pre, pairs[0].U); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("warm RowCtx(canceled) = %v, want ErrCanceled", err)
+	}
+	if _, err := o.QueryManyCtx(pre, pairs); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("warm QueryManyCtx(canceled) = %v, want ErrCanceled", err)
+	}
+
+	// Typed argument errors.
+	if _, err := o.QueryCtx(context.Background(), 0, g.N()); !errors.Is(err, core.ErrInvalidOption) {
+		t.Fatalf("QueryCtx(bad v) = %v, want core.ErrInvalidOption", err)
+	}
+	var oe *core.OptionError
+	_, err := o.QueryManyCtx(context.Background(), []Pair{{U: -1, V: 0}})
+	if !errors.As(err, &oe) {
+		t.Fatalf("QueryManyCtx(bad pair) = %v, want *core.OptionError", err)
+	}
+
+	// Context-free and live-context answers agree (and match Query).
+	want := o.QueryMany(pairs)
+	got, err := o.QueryManyCtx(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("QueryManyCtx differs from QueryMany on the same batch")
+	}
+
+	// A waiter canceled while another goroutine computes the row must
+	// return promptly without stranding or corrupting the in-flight entry.
+	fresh := New(g, Options{MaxRows: 4, Workers: 2})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fresh.Row(7) // computes and publishes
+	}()
+	waiterCtx, cancelWaiter := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancelWaiter()
+	_, werr := fresh.RowCtx(waiterCtx, 7)
+	wg.Wait()
+	if werr != nil && !errors.Is(werr, core.ErrCanceled) {
+		t.Fatalf("canceled waiter returned %v, want nil or ErrCanceled", werr)
+	}
+	if row := fresh.Row(7); row[7] != 0 {
+		t.Fatal("row corrupted after canceled waiter")
+	}
+
+	// No goroutines leak from canceled batches.
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		leakO := New(g, Options{MaxRows: 8, Workers: 8})
+		if _, err := leakO.QueryManyCtx(ctx, pairs); !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled batch = %v", err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before+2 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutines leaked after canceled batches: %d -> %d", before, n)
+	}
+}

@@ -32,11 +32,12 @@
 package par
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"sort"
 	"sync"
 
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/xrand"
 )
 
@@ -57,10 +58,13 @@ func Workers(requested int) int {
 // resolving a worker count: negative values are a configuration error. The
 // prefix names the rejecting layer ("spanner: Options.Workers", "mpc:
 // Options.Workers", …) so the error reads the same everywhere while still
-// locating the misconfiguration.
+// locating the misconfiguration. The returned error is a *core.OptionError,
+// so every layer's rejection matches errors.Is(err, core.ErrInvalidOption)
+// and surfaces its field/value/reason through errors.As.
 func CheckWorkers(prefix string, w int) error {
 	if w < 0 {
-		return fmt.Errorf("%s must be >= 0 (0 = GOMAXPROCS, 1 = serial), got %d", prefix, w)
+		return &core.OptionError{Field: prefix, Value: w,
+			Reason: "must be >= 0 (0 = GOMAXPROCS, 1 = serial)"}
 	}
 	return nil
 }
@@ -142,6 +146,70 @@ func ForCoarse(workers, n int, fn func(i int)) {
 		}(w*n/workers, (w+1)*n/workers)
 	}
 	wg.Wait()
+}
+
+// ForCoarseCtx is the context-aware ForCoarse: the cooperative dispatch the
+// cancelable coarse fan-outs (per-repetition spanner runs, per-source oracle
+// fills) run on. Every worker checkpoints ctx before each iteration and stops
+// its remaining chunk once ctx is done or its fn returned an error; all
+// workers are always joined before returning, so cancellation never leaks a
+// goroutine and never leaves fn running after ForCoarseCtx returns.
+//
+// The returned error is the lowest-indexed fn error (deterministic at every
+// worker count), or core.Canceled(ctx.Err()) when the context ended the run.
+// When ctx is never canceled and no fn errs, the iteration pattern is
+// identical to ForCoarse — results stay bit-identical at every worker count.
+func ForCoarseCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return core.Check(ctx)
+	}
+	if workers > n {
+		workers = n
+	}
+	errAt := make([]error, n)
+	failed := false
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := core.Check(ctx); err != nil {
+				return err
+			}
+			if errAt[i] = fn(i); errAt[i] != nil {
+				failed = true
+				break
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if core.Check(ctx) != nil {
+						return
+					}
+					if errAt[i] = fn(i); errAt[i] != nil {
+						return
+					}
+				}
+			}(w*n/workers, (w+1)*n/workers)
+		}
+		wg.Wait()
+		for _, err := range errAt {
+			if err != nil {
+				failed = true
+				break
+			}
+		}
+	}
+	if failed {
+		for _, err := range errAt {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return core.Check(ctx)
 }
 
 // For runs fn(i) for every i in [0, n) across `workers` goroutines with

@@ -1,12 +1,16 @@
 package par
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"reflect"
 	"sort"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
 
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/xrand"
 )
 
@@ -218,5 +222,53 @@ func TestStreamsOrderIndependentMerge(t *testing.T) {
 	})
 	if !reflect.DeepEqual(serial, concurrent) {
 		t.Fatal("concurrent shard draws differ from serial shard draws")
+	}
+}
+
+// TestForCoarseCtx pins the cancelable coarse dispatch: full iteration when
+// live, deterministic lowest-index error reporting, prompt classified return
+// on cancellation, and all workers joined.
+func TestForCoarseCtx(t *testing.T) {
+	// Live context: every index runs exactly once, any worker count.
+	for _, workers := range []int{1, 4} {
+		var hits [97]atomic.Int32
+		if err := ForCoarseCtx(context.Background(), workers, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+
+	// fn errors: the lowest-indexed error wins at every worker count.
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForCoarseCtx(context.Background(), workers, 64, func(i int) error {
+			if i == 9 || i == 40 {
+				return fmt.Errorf("index %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) || err.Error() != "index 9: boom" {
+			t.Fatalf("workers=%d: error %v, want the index-9 error", workers, err)
+		}
+	}
+
+	// Canceled context: classified error, and no fn invocation after every
+	// worker has seen the cancellation (the call always joins its workers).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	err := ForCoarseCtx(ctx, 4, 32, func(i int) error { ran++; return nil })
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("canceled ForCoarseCtx = %v, want context.Canceled/core.ErrCanceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d iterations ran under a pre-canceled context", ran)
 	}
 }

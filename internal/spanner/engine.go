@@ -1,10 +1,12 @@
 package spanner
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"mpcspanner/internal/cluster"
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/par"
 	"mpcspanner/internal/xrand"
@@ -108,8 +110,14 @@ type growScratch struct {
 	nbr     []int32
 }
 
-// runEngine executes one full run and returns the spanner.
-func runEngine(g *graph.Graph, k, t int, seed uint64, cfg engineConfig) *Result {
+// runEngine executes one full run and returns the spanner. ctx is
+// checkpointed cooperatively between iteration-sized chunks (each grow
+// iteration, each contraction, and before phase 2); on cancellation the
+// engine returns core.Canceled(ctx.Err()) with every pool goroutine joined —
+// in-flight sharded passes always complete their chunk first, so no state is
+// left torn and nothing leaks. When ctx is never canceled the run is
+// bit-identical to a context-free run at every worker count.
+func runEngine(ctx context.Context, g *graph.Graph, k, t int, seed uint64, cfg engineConfig) (*Result, error) {
 	e := newEngine(g, k, t, seed, cfg)
 	if cfg.classicBS {
 		e.stats.Algorithm = "baswana-sen"
@@ -117,15 +125,41 @@ func runEngine(g *graph.Graph, k, t int, seed uint64, cfg engineConfig) *Result 
 		e.stats.Algorithm = "general"
 	}
 
-	e.phase1()
+	if err := e.phase1(ctx); err != nil {
+		return nil, err
+	}
+	if err := core.Check(ctx); err != nil {
+		return nil, err
+	}
 	e.phase2()
+	e.emit("phase2", 0, 0)
 
 	ids := sortedUnique(e.spanIDs)
 	e.stats.Phase2Edges = len(ids) - e.stats.Phase1Edges
 	if cfg.measureRadius {
 		e.stats.Radius = e.measureRadius()
 	}
-	return &Result{EdgeIDs: ids, Stats: e.stats}
+	return &Result{EdgeIDs: ids, Stats: e.stats}, nil
+}
+
+// emit delivers one progress event to the run's callback, if installed.
+// Iteration is the engine's global grow-iteration count (not the
+// within-epoch index), so event consumers see a monotone fraction of
+// TotalIterations.
+func (e *engine) emit(stage string, epoch, total int) {
+	if e.cfg.progress == nil {
+		return
+	}
+	e.cfg.progress(core.ProgressEvent{
+		Stage:           stage,
+		Algorithm:       e.stats.Algorithm,
+		Epoch:           epoch,
+		Iteration:       e.stats.Iterations,
+		TotalIterations: total,
+		Supernodes:      e.nSuper,
+		AliveEdges:      e.nAlive,
+		SpannerEdges:    len(e.spanIDs),
+	})
 }
 
 func (e *engine) resetEpochScratch() {
@@ -237,15 +271,21 @@ func (e *engine) addSpanner(orig int) bool {
 
 // phase1 runs the shared epoch/iteration schedule (see Schedule): epoch i
 // samples with exponent (t+1)^{i-1}/k per iteration, cumulative exponents
-// clamp at (k-1)/k, and a contraction follows each epoch.
-func (e *engine) phase1() {
+// clamp at (k-1)/k, and a contraction follows each epoch. ctx is
+// checkpointed once per grow iteration — the engine's chunk size — so a
+// canceled build stops within one iteration's work.
+func (e *engine) phase1(ctx context.Context) error {
 	n := float64(e.g.N())
 	if n < 2 {
-		return
+		return nil
 	}
-	for _, spec := range Schedule(e.k, e.t) {
+	schedule := Schedule(e.k, e.t)
+	for _, spec := range schedule {
+		if err := core.Check(ctx); err != nil {
+			return err
+		}
 		if e.nAlive == 0 {
-			return
+			return nil
 		}
 		if spec.Iter == 1 {
 			e.stats.Probabilities = append(e.stats.Probabilities,
@@ -253,11 +293,14 @@ func (e *engine) phase1() {
 		}
 		e.iterate(math.Pow(n, -spec.Exponent), uint64(spec.Epoch), uint64(spec.Iter))
 		e.stats.Iterations++
+		e.emit("grow", spec.Epoch, len(schedule))
 		if spec.LastOfEpoch && !e.cfg.classicBS {
 			e.contract()
 			e.stats.Epochs++
+			e.emit("contract", spec.Epoch, len(schedule))
 		}
 	}
+	return nil
 }
 
 // groupKey identifies a (supernode, neighbor-cluster) removal group.

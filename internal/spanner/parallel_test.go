@@ -1,10 +1,14 @@
 package spanner
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"runtime"
 	"testing"
+	"time"
 
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/graph"
 )
 
@@ -136,5 +140,87 @@ func TestNegativeWorkersRejected(t *testing.T) {
 	unit := graph.Path(4, graph.UnitWeight, 1)
 	if _, err := Unweighted(unit, 2, UnweightedOptions{Workers: -1}); err == nil {
 		t.Fatal("Unweighted accepted Workers < 0")
+	}
+}
+
+// TestCancellationSemantics pins the three promises of the context plumbing:
+// a pre-canceled context fails fast with ctx.Err() classification; a cancel
+// issued at a checkpoint is honored within a bounded number of further
+// checkpoints; and supplying a live context never changes the output —
+// equal-seed uncanceled runs are bit-identical to the context-free path at
+// every worker count.
+func TestCancellationSemantics(t *testing.T) {
+	g := graph.GNP(500, 0.03, graph.UniformWeight(1, 60), 17)
+	unit := graph.GNP(300, 0.04, graph.UnitWeight, 18)
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := GeneralCtx(pre, g, 6, 2, Options{Seed: 1}); !errors.Is(err, context.Canceled) || !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("GeneralCtx(canceled) = %v, want context.Canceled/core.ErrCanceled", err)
+	}
+	if _, err := BaswanaSenCtx(pre, g, 4, Options{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BaswanaSenCtx(canceled) = %v", err)
+	}
+	if _, _, err := GeneralWHPCtx(pre, g, 6, 2, 4, Options{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GeneralWHPCtx(canceled) = %v", err)
+	}
+	if _, err := UnweightedCtx(pre, unit, 2, UnweightedOptions{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("UnweightedCtx(canceled) = %v", err)
+	}
+
+	// Mid-run cancel from the first checkpoint: the engine must stop within
+	// a bounded number of further checkpoints (one trailing contract event
+	// can share the canceling iteration's loop body; nothing after that).
+	for _, workers := range []int{1, pinWorkers()} {
+		ctx, cancel := context.WithCancel(context.Background())
+		after := 0
+		fired := false
+		_, err := GeneralCtx(ctx, g, 8, 2, Options{Seed: 3, Workers: workers,
+			Progress: func(ev core.ProgressEvent) {
+				if fired {
+					after++
+				}
+				fired = true
+				cancel()
+			}})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: mid-run cancel = %v, want context.Canceled", workers, err)
+		}
+		if after > 1 {
+			t.Fatalf("workers=%d: %d checkpoints fired after the cancel, want <= 1", workers, after)
+		}
+	}
+
+	// A live context changes nothing: bit-identical to the context-free path
+	// at every worker count.
+	for _, workers := range []int{1, pinWorkers()} {
+		plain, err := General(g, 8, 2, Options{Seed: 41, Workers: workers, MeasureRadius: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		withCtx, err := GeneralCtx(context.Background(), g, 8, 2, Options{Seed: 41, Workers: workers, MeasureRadius: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, withCtx) {
+			t.Fatalf("workers=%d: context-free and live-context runs differ", workers)
+		}
+	}
+
+	// Repetitions: a canceled context stops the fan-out and drains every
+	// in-flight run; no goroutines outlive the call.
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GeneralCtx(ctx, g, 6, 2, Options{Seed: 5, Repetitions: 6, Workers: pinWorkers()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("repetitions cancel = %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before+2 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutines leaked after canceled repetitions: %d -> %d", before, n)
 	}
 }

@@ -21,11 +21,12 @@
 package spanner
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"sort"
 
 	"mpcspanner/internal/cluster"
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/par"
 	"mpcspanner/internal/xrand"
@@ -52,6 +53,15 @@ type Options struct {
 	// MeasureRadius additionally computes the final cluster-tree radii
 	// (hop and weighted), used by the stretch accounting experiments.
 	MeasureRadius bool
+
+	// Progress, when non-nil, receives one core.ProgressEvent per engine
+	// checkpoint (grow iteration, contraction, phase 2, and one
+	// "repetition" event per finished run when Repetitions > 1). Events are
+	// emitted synchronously from the construction loop; the callback must
+	// not block for long, must not call back into the engine, and must be
+	// safe for concurrent use when Repetitions > 1 (repetitions run on the
+	// worker pool).
+	Progress func(core.ProgressEvent)
 }
 
 func (o Options) reps() int {
@@ -114,21 +124,39 @@ func (r *Result) Spanner(g *graph.Graph) *graph.Graph { return g.Subgraph(r.Edge
 // stretch toward 2k−1 at the cost of more iterations; see StretchBound and
 // IterationBound for the theoretical envelope.
 func General(g *graph.Graph, k, t int, opt Options) (*Result, error) {
+	return GeneralCtx(context.Background(), g, k, t, opt)
+}
+
+// GeneralCtx is General under a context: the engine checkpoints ctx at every
+// grow iteration and contraction and returns core.Canceled(ctx.Err()) —
+// matching errors.Is against both core.ErrCanceled and ctx.Err() — at the
+// first checkpoint after cancellation, with all pool goroutines joined.
+// Uncanceled runs are bit-identical to General at every worker count.
+func GeneralCtx(ctx context.Context, g *graph.Graph, k, t int, opt Options) (*Result, error) {
 	if err := validateKT(k, t); err != nil {
 		return nil, err
 	}
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	return bestOf(opt, func(seed uint64) *Result {
-		return runEngine(g, k, t, seed, engineConfig{measureRadius: opt.MeasureRadius, workers: opt.Workers})
+	return bestOf(ctx, opt, func(runCtx context.Context, seed uint64) (*Result, error) {
+		return runEngine(runCtx, g, k, t, seed, engineConfig{
+			measureRadius: opt.MeasureRadius,
+			workers:       opt.Workers,
+			progress:      opt.Progress,
+		})
 	})
 }
 
 // ClusterMerge runs the §4 cluster-cluster merging algorithm (t = 1):
 // log k epochs, stretch O(k^{log 3}), size O(n^{1+1/k}·log k).
 func ClusterMerge(g *graph.Graph, k int, opt Options) (*Result, error) {
-	r, err := General(g, k, 1, opt)
+	return ClusterMergeCtx(context.Background(), g, k, opt)
+}
+
+// ClusterMergeCtx is ClusterMerge under a context (see GeneralCtx).
+func ClusterMergeCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result, error) {
+	r, err := GeneralCtx(ctx, g, k, 1, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -139,11 +167,16 @@ func ClusterMerge(g *graph.Graph, k int, opt Options) (*Result, error) {
 // SqrtK runs the §3 two-phase algorithm (t = ⌈√k⌉): O(√k) iterations,
 // stretch O(k), size O(√k·n^{1+1/k}).
 func SqrtK(g *graph.Graph, k int, opt Options) (*Result, error) {
+	return SqrtKCtx(context.Background(), g, k, opt)
+}
+
+// SqrtKCtx is SqrtK under a context (see GeneralCtx).
+func SqrtKCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result, error) {
 	t := int(math.Ceil(math.Sqrt(float64(k))))
 	if t < 1 {
 		t = 1
 	}
-	r, err := General(g, k, t, opt)
+	r, err := GeneralCtx(ctx, g, k, t, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -155,17 +188,23 @@ func SqrtK(g *graph.Graph, k int, opt Options) (*Result, error) {
 // probability n^{−1/k}, no contraction, and a per-vertex Phase 2. Its stretch
 // is 2k−1 and its expected size O(k·n^{1+1/k}); it is the paper's baseline.
 func BaswanaSen(g *graph.Graph, k int, opt Options) (*Result, error) {
+	return BaswanaSenCtx(context.Background(), g, k, opt)
+}
+
+// BaswanaSenCtx is BaswanaSen under a context (see GeneralCtx).
+func BaswanaSenCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result, error) {
 	if err := validateKT(k, 1); err != nil {
 		return nil, err
 	}
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	return bestOf(opt, func(seed uint64) *Result {
-		return runEngine(g, k, k, seed, engineConfig{
+	return bestOf(ctx, opt, func(runCtx context.Context, seed uint64) (*Result, error) {
+		return runEngine(runCtx, g, k, k, seed, engineConfig{
 			classicBS:     true,
 			measureRadius: opt.MeasureRadius,
 			workers:       opt.Workers,
+			progress:      opt.Progress,
 		})
 	})
 }
@@ -198,10 +237,12 @@ func IterationBound(k, t int) int {
 
 func validateKT(k, t int) error {
 	if k < 1 {
-		return fmt.Errorf("spanner: stretch parameter k must be >= 1, got %d", k)
+		return &core.OptionError{Field: "spanner: k", Value: k,
+			Reason: "stretch parameter must be >= 1"}
 	}
 	if t < 1 {
-		return fmt.Errorf("spanner: epoch length t must be >= 1, got %d", t)
+		return &core.OptionError{Field: "spanner: t", Value: t,
+			Reason: "epoch length must be >= 1"}
 	}
 	return nil
 }
@@ -211,11 +252,17 @@ func validateKT(k, t int) error {
 // concurrently on the option's worker pool — each draws its seed from its
 // own per-repetition stream (the per-shard pattern of internal/par), and the
 // winner is reduced order-independently over the index-addressed results,
-// so the outcome is identical at every worker count.
-func bestOf(opt Options, run func(seed uint64) *Result) (*Result, error) {
+// so the outcome is identical at every worker count. Cancellation
+// checkpoints between repetitions (par.ForCoarseCtx) and inside each run
+// (the engine's per-iteration checks); on cancellation every in-flight
+// repetition drains at its own next checkpoint before bestOf returns.
+func bestOf(ctx context.Context, opt Options, run func(ctx context.Context, seed uint64) (*Result, error)) (*Result, error) {
 	reps := opt.reps()
 	if reps == 1 {
-		r := run(opt.Seed)
+		r, err := run(ctx, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
 		r.Stats.Repetition = 0
 		return r, nil
 	}
@@ -224,11 +271,22 @@ func bestOf(opt Options, run func(seed uint64) *Result) (*Result, error) {
 	// par.Streams packages the same per-shard-stream derivation under its
 	// own tag for new call sites.
 	results := make([]*Result, reps)
-	par.ForCoarse(par.Workers(opt.Workers), reps, func(rep int) {
-		r := run(xrand.Split(opt.Seed, 0x72657073, uint64(rep)).Uint64()) // "reps"
+	err := par.ForCoarseCtx(ctx, par.Workers(opt.Workers), reps, func(rep int) error {
+		r, err := run(ctx, xrand.Split(opt.Seed, 0x72657073, uint64(rep)).Uint64()) // "reps"
+		if err != nil {
+			return err
+		}
 		r.Stats.Repetition = rep
+		if opt.Progress != nil {
+			opt.Progress(core.ProgressEvent{Stage: "repetition", Algorithm: r.Stats.Algorithm,
+				Iteration: rep + 1, TotalIterations: reps, SpannerEdges: len(r.EdgeIDs)})
+		}
 		results[rep] = r
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	best := results[0]
 	for _, r := range results[1:] {
 		if len(r.EdgeIDs) < len(best.EdgeIDs) {
@@ -249,6 +307,9 @@ type engineConfig struct {
 	// workers is the requested pool size (par conventions; resolved in
 	// newEngine).
 	workers int
+
+	// progress, when non-nil, receives the engine's checkpoint events.
+	progress func(core.ProgressEvent)
 }
 
 // sortedUnique sorts ids and removes duplicates in place.

@@ -1,10 +1,11 @@
 package spanner
 
 import (
-	"fmt"
+	"context"
 	"math"
 
 	"mpcspanner/internal/cluster"
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/par"
@@ -25,6 +26,11 @@ type UnweightedOptions struct {
 	// 1 = serial); the ball growing and the embedded [BS07] runs fan out
 	// over it. Negative values are rejected.
 	Workers int
+
+	// Progress, when non-nil, receives one event per stage of the
+	// construction ("balls", "sparse", "dense") plus the events of the
+	// embedded [BS07] runs. Same contract as Options.Progress.
+	Progress func(core.ProgressEvent)
 }
 
 // UnweightedStats reports the structural quantities of an Unweighted run.
@@ -75,23 +81,41 @@ func (r *UnweightedResult) Spanner(g *graph.Graph) *graph.Graph { return g.Subgr
 // single hitting-set level. The stretch and size guarantees are unchanged
 // (DESIGN.md, substitutions table).
 func Unweighted(g *graph.Graph, k int, opt UnweightedOptions) (*UnweightedResult, error) {
+	return UnweightedCtx(context.Background(), g, k, opt)
+}
+
+// UnweightedCtx is Unweighted under a context: ctx is checkpointed between
+// the construction's stages (ball growing, the sparse-side [BS07] run, each
+// dense-side subphase) and inside the embedded engine runs, returning
+// core.Canceled(ctx.Err()) at the first checkpoint after cancellation.
+// Uncanceled runs are bit-identical to Unweighted.
+func UnweightedCtx(ctx context.Context, g *graph.Graph, k int, opt UnweightedOptions) (*UnweightedResult, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("spanner: k must be >= 1, got %d", k)
+		return nil, &core.OptionError{Field: "spanner: k", Value: k,
+			Reason: "stretch parameter must be >= 1"}
 	}
 	if !g.IsUnit() {
-		return nil, fmt.Errorf("spanner: Unweighted requires an unweighted (unit-weight) graph")
+		return nil, &core.OptionError{Field: "spanner: graph", Value: "weighted",
+			Reason: "Unweighted requires an unweighted (unit-weight) graph"}
 	}
 	gamma := opt.Gamma
 	if gamma == 0 {
 		gamma = 0.5
 	}
 	if gamma <= 0 || gamma >= 1 {
-		return nil, fmt.Errorf("spanner: gamma must lie in (0,1), got %v", gamma)
+		return nil, &core.OptionError{Field: "spanner: UnweightedOptions.Gamma", Value: gamma,
+			Reason: "must lie in (0,1)"}
 	}
 	if err := par.CheckWorkers("spanner: UnweightedOptions.Workers", opt.Workers); err != nil {
 		return nil, err
 	}
 	workers := par.Workers(opt.Workers)
+	emit := func(stage string, edges int) {
+		if opt.Progress != nil {
+			opt.Progress(core.ProgressEvent{Stage: stage, Algorithm: "unweighted",
+				Supernodes: g.N(), SpannerEdges: edges})
+		}
+	}
 
 	n := g.N()
 	st := UnweightedStats{K: k}
@@ -112,6 +136,9 @@ func Unweighted(g *graph.Graph, k int, opt UnweightedOptions) (*UnweightedResult
 	st.BallCap = ballCap
 	// The per-vertex balls are independent (the paper grows them in parallel
 	// via graph exponentiation); each vertex writes only its own slot.
+	if err := core.Check(ctx); err != nil {
+		return nil, err
+	}
 	sparse := make([]bool, n)
 	par.For(workers, n, func(v int) {
 		_, truncated := dist.BFSBall(g, v, 4*k, ballCap)
@@ -124,6 +151,7 @@ func Unweighted(g *graph.Graph, k int, opt UnweightedOptions) (*UnweightedResult
 			st.DenseCount++
 		}
 	}
+	emit("balls", 0)
 
 	// --- Sparse side: region-restricted global [BS07]. -------------------
 	// The 2k-hop region around sparse vertices contains every vertex of the
@@ -137,13 +165,16 @@ func Unweighted(g *graph.Graph, k int, opt UnweightedOptions) (*UnweightedResult
 		}
 	}
 	if len(sparseSet) > 0 {
+		if err := core.Check(ctx); err != nil {
+			return nil, err
+		}
 		hop, _ := dist.MultiSourceDijkstra(g, sparseSet) // unit weights: hops
 		for v := 0; v < n; v++ {
 			if hop[v] <= float64(2*k) {
 				region[v] = true
 			}
 		}
-		bs, err := BaswanaSen(g, k, Options{Seed: xrand.Split(opt.Seed, 0x627337).Uint64(), Workers: opt.Workers}) // "bs7"
+		bs, err := BaswanaSenCtx(ctx, g, k, Options{Seed: xrand.Split(opt.Seed, 0x627337).Uint64(), Workers: opt.Workers, Progress: opt.Progress}) // "bs7"
 		if err != nil {
 			return nil, err
 		}
@@ -155,9 +186,13 @@ func Unweighted(g *graph.Graph, k int, opt UnweightedOptions) (*UnweightedResult
 			}
 		}
 	}
+	emit("sparse", len(ids))
 
 	// --- Dense side: hitting set + auxiliary-graph spanner. --------------
 	if st.DenseCount > 0 {
+		if err := core.Check(ctx); err != nil {
+			return nil, err
+		}
 		pZ := 4 * math.Log(float64(n)+2) / math.Pow(float64(n), gamma/4)
 		inZ := make([]bool, n)
 		var zs []int
@@ -235,7 +270,7 @@ func Unweighted(g *graph.Graph, k int, opt UnweightedOptions) (*UnweightedResult
 			}
 			auxG := graph.MustNew(len(zs), auxEdges)
 			kAux := int(math.Ceil(2 / gamma))
-			auxR, err := BaswanaSen(auxG, kAux, Options{Seed: xrand.Split(opt.Seed, 0x617578).Uint64(), Workers: opt.Workers}) // "aux"
+			auxR, err := BaswanaSenCtx(ctx, auxG, kAux, Options{Seed: xrand.Split(opt.Seed, 0x617578).Uint64(), Workers: opt.Workers, Progress: opt.Progress}) // "aux"
 			if err != nil {
 				return nil, err
 			}
@@ -258,6 +293,7 @@ func Unweighted(g *graph.Graph, k int, opt UnweightedOptions) (*UnweightedResult
 	if bsBound := float64(2*k - 1); bsBound > st.StretchBound {
 		st.StretchBound = bsBound
 	}
+	emit("dense", len(ids))
 	st.Rounds = RoundsUnweighted(k, gamma)
 	return &UnweightedResult{EdgeIDs: sortedUnique(ids), Stats: st}, nil
 }

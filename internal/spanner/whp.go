@@ -1,9 +1,11 @@
 package spanner
 
 import (
+	"context"
 	"math"
 
 	"mpcspanner/internal/cluster"
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/par"
 	"mpcspanner/internal/xrand"
@@ -51,6 +53,14 @@ type whpConfig struct {
 // O(n^{1+1/k}(t+log k)) size bound with high probability rather than in
 // expectation. runs ≤ 0 selects ⌈log₂ n⌉ + 1.
 func GeneralWHP(g *graph.Graph, k, t, runs int, opt Options) (*Result, *WHPStats, error) {
+	return GeneralWHPCtx(context.Background(), g, k, t, runs, opt)
+}
+
+// GeneralWHPCtx is GeneralWHP under a context: ctx is checkpointed once per
+// grow iteration (before the parallel sampling runs are planned) and the
+// function returns core.Canceled(ctx.Err()) at the first checkpoint after
+// cancellation. Uncanceled runs are bit-identical to GeneralWHP.
+func GeneralWHPCtx(ctx context.Context, g *graph.Graph, k, t, runs int, opt Options) (*Result, *WHPStats, error) {
 	if err := validateKT(k, t); err != nil {
 		return nil, nil, err
 	}
@@ -60,13 +70,12 @@ func GeneralWHP(g *graph.Graph, k, t, runs int, opt Options) (*Result, *WHPStats
 	if runs <= 0 {
 		runs = int(math.Ceil(math.Log2(float64(g.N()+2)))) + 1
 	}
-	res, whp := runEngineWHP(g, k, t, opt.Seed, whpConfig{runs: runs, c1: 4, c2: 4},
-		engineConfig{measureRadius: opt.MeasureRadius, workers: opt.Workers})
-	return res, whp, nil
+	return runEngineWHP(ctx, g, k, t, opt.Seed, whpConfig{runs: runs, c1: 4, c2: 4},
+		engineConfig{measureRadius: opt.MeasureRadius, workers: opt.Workers, progress: opt.Progress})
 }
 
 // runEngineWHP is runEngine with the per-iteration spliced selection.
-func runEngineWHP(g *graph.Graph, k, t int, seed uint64, wc whpConfig, cfg engineConfig) (*Result, *WHPStats) {
+func runEngineWHP(ctx context.Context, g *graph.Graph, k, t int, seed uint64, wc whpConfig, cfg engineConfig) (*Result, *WHPStats, error) {
 	e := newEngine(g, k, t, seed, cfg)
 	e.stats.Algorithm = "general-whp"
 	whp := &WHPStats{Runs: wc.runs}
@@ -74,7 +83,11 @@ func runEngineWHP(g *graph.Graph, k, t int, seed uint64, wc whpConfig, cfg engin
 	n := float64(g.N())
 	if n >= 2 {
 		lnN := math.Log(n)
-		for _, spec := range Schedule(k, t) {
+		schedule := Schedule(k, t)
+		for _, spec := range schedule {
+			if err := core.Check(ctx); err != nil {
+				return nil, nil, err
+			}
 			if e.nAlive == 0 {
 				break
 			}
@@ -108,20 +121,26 @@ func runEngineWHP(g *graph.Graph, k, t int, seed uint64, wc whpConfig, cfg engin
 
 			e.applyIteration(chosen)
 			e.stats.Iterations++
+			e.emit("grow", spec.Epoch, len(schedule))
 			if spec.LastOfEpoch && !cfg.classicBS {
 				e.contract()
 				e.stats.Epochs++
+				e.emit("contract", spec.Epoch, len(schedule))
 			}
 		}
 	}
+	if err := core.Check(ctx); err != nil {
+		return nil, nil, err
+	}
 	e.phase2()
+	e.emit("phase2", 0, 0)
 
 	ids := sortedUnique(e.spanIDs)
 	e.stats.Phase2Edges = len(ids) - e.stats.Phase1Edges
 	if cfg.measureRadius {
 		e.stats.Radius = e.measureRadius()
 	}
-	return &Result{EdgeIDs: ids, Stats: e.stats}, whp
+	return &Result{EdgeIDs: ids, Stats: e.stats}, whp, nil
 }
 
 // SizeBoundWHP returns the explicit high-probability size budget certified

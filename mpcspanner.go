@@ -3,22 +3,31 @@
 // Approximation and Spanners" (Biswas, Dory, Ghaffari, Mitrović, Nazari —
 // SPAA 2021).
 //
-// It exposes the paper's spanner constructions (the §5 general round/stretch
-// trade-off and its §3/§4/[BS07]/Appendix-B special cases), the simulated
-// execution substrates (MPC, Congested Clique, PRAM cost model), and the §7
-// all-pairs-shortest-paths approximation built on top. See DESIGN.md for the
-// system inventory and EXPERIMENTS.md for the reproduced theorem-level
-// results.
-//
-// Quick start:
+// The v1 surface is two nouns and one verb set. Build constructs a spanner
+// with any of the paper's algorithm families under a context, with
+// functional options, progress reporting, and typed errors:
 //
 //	g := mpcspanner.GNP(10_000, 0.001, mpcspanner.UniformWeight(1, 100), 42)
-//	res, err := mpcspanner.BuildSpanner(g, mpcspanner.SpannerOptions{K: 8, T: 2, Seed: 1})
+//	res, err := mpcspanner.Build(ctx, g, mpcspanner.WithK(8), mpcspanner.WithSeed(1))
 //	// res.EdgeIDs is the spanner; res.Stats carries iterations/size/radius.
+//
+// Serve wraps the §7 distance-approximation pipeline (or any frozen graph)
+// in a cached, concurrency-safe serving Session:
+//
+//	s, err := mpcspanner.Serve(ctx, g, mpcspanner.WithSeed(1))
+//	d, err := s.Query(ctx, 0, 99)
+//
+// Every error classifies through errors.Is against ErrInvalidOption or
+// ErrCanceled (the latter also matching ctx.Err()); see errors.go. The flat
+// functions below (BuildSpanner, BuildSpannerMPC, ApproxAPSP, NewOracle, …)
+// are the pre-v1 surface, kept as thin deprecated wrappers over the same
+// core so existing callers migrate incrementally — new code should call
+// Build and Serve. See DESIGN.md §8 for the cancellation model and the
+// old→new migration table.
 package mpcspanner
 
 import (
-	"fmt"
+	"context"
 
 	"mpcspanner/internal/apsp"
 	"mpcspanner/internal/cclique"
@@ -83,7 +92,7 @@ var (
 	PowerWeight = graph.PowerWeight
 )
 
-// Algorithm selects a spanner construction family.
+// Algorithm selects a spanner construction family for Build.
 type Algorithm string
 
 const (
@@ -95,9 +104,32 @@ const (
 	AlgoSqrtK Algorithm = "sqrt-k"
 	// AlgoBaswanaSen is the classic [BS07] baseline: stretch 2k−1 in k−1 rounds.
 	AlgoBaswanaSen Algorithm = "baswana-sen"
+	// AlgoUnweighted is the Appendix B construction for unit-weight graphs:
+	// stretch O(K/Gamma) in O(log K) rounds. BuildResult.Unweighted carries
+	// its statistics.
+	AlgoUnweighted Algorithm = "unweighted"
+	// AlgoMPC executes the general algorithm on the simulated
+	// sublinear-memory MPC cluster (Theorem 1.1 / §6); the spanner is
+	// bit-identical to AlgoGeneral under the same seed and
+	// BuildResult.MPC carries the round/memory bill.
+	AlgoMPC Algorithm = "mpc"
+	// AlgoCongestedClique runs Theorem 8.1 (w.h.p. size via per-iteration
+	// parallel-run selection); BuildResult.CC carries the clique round bill
+	// and selection statistics.
+	AlgoCongestedClique Algorithm = "congested-clique"
 )
 
+// SpannerStats reports the structural costs of an engine-family build — the
+// quantities the paper's theorems bound.
+type SpannerStats = spanner.Stats
+
+// UnweightedStats reports the Appendix B construction's structural
+// quantities.
+type UnweightedStats = spanner.UnweightedStats
+
 // SpannerOptions configures BuildSpanner.
+//
+// Deprecated: new code should pass functional options to Build.
 type SpannerOptions struct {
 	// Algorithm defaults to AlgoGeneral.
 	Algorithm Algorithm
@@ -122,33 +154,41 @@ type SpannerOptions struct {
 // SpannerResult is re-exported from the core package.
 type SpannerResult = spanner.Result
 
-// BuildSpanner constructs a spanner of g with the selected algorithm.
+// BuildSpanner constructs a spanner of g with the selected algorithm. It is
+// a thin wrapper over Build with a background context: same spanners, same
+// statistics, bit-identical under equal seeds.
+//
+// Deprecated: use Build, which adds cancellation, progress reporting, and
+// typed errors.
 func BuildSpanner(g *Graph, opt SpannerOptions) (*SpannerResult, error) {
-	if err := par.CheckWorkers("mpcspanner: SpannerOptions.Workers", opt.Workers); err != nil {
+	opts := []Option{
+		WithAlgorithm(orDefault(opt.Algorithm)),
+		WithK(opt.K),
+		WithSeed(opt.Seed),
+		WithWorkers(opt.Workers),
+	}
+	if opt.T > 0 {
+		opts = append(opts, WithT(opt.T))
+	}
+	if opt.Repetitions > 0 {
+		opts = append(opts, WithRepetitions(opt.Repetitions))
+	}
+	if opt.MeasureRadius {
+		opts = append(opts, WithMeasureRadius())
+	}
+	res, err := Build(context.Background(), g, opts...)
+	if err != nil {
 		return nil, err
 	}
-	inner := spanner.Options{
-		Seed:          opt.Seed,
-		Repetitions:   opt.Repetitions,
-		Workers:       opt.Workers,
-		MeasureRadius: opt.MeasureRadius,
+	return &SpannerResult{EdgeIDs: res.EdgeIDs, Stats: res.Stats}, nil
+}
+
+// orDefault maps the flat API's zero Algorithm onto AlgoGeneral.
+func orDefault(a Algorithm) Algorithm {
+	if a == "" {
+		return AlgoGeneral
 	}
-	switch opt.Algorithm {
-	case AlgoGeneral, "":
-		t := opt.T
-		if t <= 0 {
-			t = defaultT(opt.K)
-		}
-		return spanner.General(g, opt.K, t, inner)
-	case AlgoClusterMerge:
-		return spanner.ClusterMerge(g, opt.K, inner)
-	case AlgoSqrtK:
-		return spanner.SqrtK(g, opt.K, inner)
-	case AlgoBaswanaSen:
-		return spanner.BaswanaSen(g, opt.K, inner)
-	default:
-		return nil, fmt.Errorf("mpcspanner: unknown algorithm %q", opt.Algorithm)
-	}
+	return a
 }
 
 // defaultT is the paper's t = log k sweet spot (stretch k^{1+o(1)} in
@@ -166,14 +206,39 @@ func defaultT(k int) int {
 
 // UnweightedOptions and Unweighted expose the Appendix B construction for
 // unit-weight graphs: stretch O(k/γ) in O(log k) rounds.
+//
+// Deprecated: new code should pass functional options to Build with
+// WithAlgorithm(AlgoUnweighted).
 type UnweightedOptions = spanner.UnweightedOptions
 
 // UnweightedResult is the Appendix B result type.
 type UnweightedResult = spanner.UnweightedResult
 
-// BuildUnweightedSpanner runs the Appendix B algorithm.
+// BuildUnweightedSpanner runs the Appendix B algorithm. It is a thin
+// wrapper over Build(WithAlgorithm(AlgoUnweighted)) with a background
+// context, which also gives it the facade-level option validation every
+// other entry point performs (a negative Workers is rejected before any
+// graph inspection, matching the rest of the surface).
+//
+// Deprecated: use Build with WithAlgorithm(AlgoUnweighted).
 func BuildUnweightedSpanner(g *Graph, k int, opt UnweightedOptions) (*UnweightedResult, error) {
-	return spanner.Unweighted(g, k, opt)
+	opts := []Option{
+		WithAlgorithm(AlgoUnweighted),
+		WithK(k),
+		WithSeed(opt.Seed),
+		WithWorkers(opt.Workers),
+	}
+	if opt.Gamma != 0 {
+		opts = append(opts, WithGamma(opt.Gamma))
+	}
+	if opt.Progress != nil {
+		opts = append(opts, WithProgress(opt.Progress))
+	}
+	res, err := Build(context.Background(), g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &UnweightedResult{EdgeIDs: res.EdgeIDs, Stats: *res.Unweighted}, nil
 }
 
 // StretchBound returns the certified stretch of General(k, t): 2k^s with
@@ -206,18 +271,23 @@ type MPCOptions = mpc.Options
 // order-preserving uint64 encodings of the paper's comparators, on a scratch
 // arena reused across rounds (DESIGN.md §7) — the simulated round/sort/tree
 // accounting is identical to the comparator realization, only faster.
+//
+// Deprecated: use Build with WithAlgorithm(AlgoMPC); BuildResult.MPC carries
+// this function's result.
 func BuildSpannerMPC(g *Graph, k, t int, gamma float64, seed uint64) (*MPCResult, error) {
-	return mpc.BuildSpanner(g, k, t, gamma, seed)
+	return mpc.BuildSpannerCtx(context.Background(), g, k, t, seed, MPCOptions{Gamma: gamma})
 }
 
 // BuildSpannerMPCOpts is BuildSpannerMPC with the full option surface
 // (Workers follows the par conventions; rounds and the spanner are
 // bit-identical at every worker count).
+//
+// Deprecated: use Build with WithAlgorithm(AlgoMPC).
 func BuildSpannerMPCOpts(g *Graph, k, t int, seed uint64, opt MPCOptions) (*MPCResult, error) {
 	if err := par.CheckWorkers("mpcspanner: MPCOptions.Workers", opt.Workers); err != nil {
 		return nil, err
 	}
-	return mpc.BuildSpannerOpts(g, k, t, seed, opt)
+	return mpc.BuildSpannerCtx(context.Background(), g, k, t, seed, opt)
 }
 
 // APSPOptions configures the §7 distance-approximation pipeline.
@@ -229,11 +299,11 @@ type APSPResult = apsp.Result
 // ApproxAPSP runs Corollary 1.4: an O(log^{1+o(1)} n)-approximate APSP
 // oracle built in poly(log log n) simulated MPC rounds. APSPOptions.Workers
 // sizes the real pool behind both the build and the serving oracle.
+//
+// Deprecated: use Serve (which wraps the pipeline in a serving Session) or
+// ApproxAPSPCtx (same result type, cancelable).
 func ApproxAPSP(g *Graph, opt APSPOptions) (*APSPResult, error) {
-	if err := par.CheckWorkers("mpcspanner: APSPOptions.Workers", opt.Workers); err != nil {
-		return nil, err
-	}
-	return apsp.Approx(g, opt)
+	return ApproxAPSPCtx(context.Background(), g, opt)
 }
 
 // The distance-oracle serving layer (internal/oracle): the §7 regime where
@@ -251,10 +321,15 @@ type (
 	Pair = oracle.Pair
 )
 
-// NewOracle wraps a frozen graph — typically the spanner of a BuildSpanner
-// or ApproxAPSP run, via g.Subgraph(res.EdgeIDs) or res.Spanner() — in a
+// NewOracle wraps a frozen graph — typically the spanner of a Build or
+// ApproxAPSP run, via g.Subgraph(res.EdgeIDs) or res.Spanner() — in a
 // cached serving layer. Point queries hit Oracle.Query, batches
-// Oracle.QueryMany; Oracle.Stats reports hits/misses/evictions.
+// Oracle.QueryMany; Oracle.Stats reports hits/misses/evictions. The
+// context-aware QueryCtx/RowCtx/QueryManyCtx methods back the Session
+// surface and are available here too.
+//
+// Deprecated: use Serve, whose Session carries the same oracle behind
+// context-aware query methods.
 func NewOracle(g *Graph, opt OracleOptions) *Oracle { return oracle.New(g, opt) }
 
 // CCSpannerResult and CCAPSPResult expose the Congested Clique layer (§8).
@@ -268,22 +343,46 @@ type (
 // BuildSpannerCongestedClique runs Theorem 8.1 (w.h.p. size via per-iteration
 // parallel-run selection). The simulated nodes' local work runs on a
 // GOMAXPROCS pool; use BuildSpannerCongestedCliqueWorkers to pin it.
+//
+// Deprecated: use Build with WithAlgorithm(AlgoCongestedClique);
+// BuildResult.CC carries this function's result.
 func BuildSpannerCongestedClique(g *Graph, k, t int, seed uint64) (*CCSpannerResult, error) {
-	return cclique.BuildSpanner(g, k, t, seed)
+	return cclique.BuildSpannerCtx(context.Background(), g, k, t, seed, cclique.BuildOptions{})
 }
 
 // BuildSpannerCongestedCliqueWorkers is BuildSpannerCongestedClique with an
 // explicit worker pool size (par conventions; bit-identical results at
 // every count).
+//
+// Deprecated: use Build with WithAlgorithm(AlgoCongestedClique) and
+// WithWorkers.
 func BuildSpannerCongestedCliqueWorkers(g *Graph, k, t int, seed uint64, workers int) (*CCSpannerResult, error) {
 	if err := par.CheckWorkers("mpcspanner: workers", workers); err != nil {
 		return nil, err
 	}
-	return cclique.BuildSpannerOpts(g, k, t, seed, workers)
+	return cclique.BuildSpannerCtx(context.Background(), g, k, t, seed, cclique.BuildOptions{Workers: workers})
 }
 
 // ApproxAPSPCongestedClique runs Corollary 1.5: the first sublogarithmic
 // weighted-APSP approximation in the Congested Clique.
+//
+// Deprecated: use ApproxAPSPCongestedCliqueCtx, which is cancelable.
 func ApproxAPSPCongestedClique(g *Graph, seed uint64) (*CCAPSPResult, error) {
-	return cclique.ApproxAPSP(g, seed)
+	return ApproxAPSPCongestedCliqueCtx(context.Background(), g, WithSeed(seed))
+}
+
+// ApproxAPSPCongestedCliqueCtx is the context-aware Corollary 1.5 pipeline:
+// the WHP spanner build checkpoints ctx per grow iteration. It accepts the
+// shared functional options WithSeed, WithWorkers and WithProgress; the
+// algorithm parameters are fixed by the corollary (k = ⌈log₂ n⌉,
+// t = ⌈log₂ log₂ n⌉), so the structural options are rejected like every
+// other foreign option.
+func ApproxAPSPCongestedCliqueCtx(ctx context.Context, g *Graph, opts ...Option) (*CCAPSPResult, error) {
+	cfg, err := newConfig("ApproxAPSPCongestedCliqueCtx", cliqueAPSPForeign, opts)
+	if err != nil {
+		return nil, err
+	}
+	return cclique.ApproxAPSPCtx(ctx, g, cfg.seed, cclique.BuildOptions{
+		Workers: cfg.workers, Progress: cfg.progress,
+	})
 }

@@ -1,0 +1,133 @@
+package mpcspanner
+
+import (
+	"context"
+
+	"mpcspanner/internal/apsp"
+	"mpcspanner/internal/core"
+	"mpcspanner/internal/oracle"
+	"mpcspanner/internal/par"
+)
+
+// Session is the serving half of the v1 surface: a concurrency-safe cached
+// distance service over a frozen graph — the paper's §7 regime where a
+// spanner is built once and then answers many queries locally. Create one
+// with Serve; every query method takes a context and checkpoints it between
+// row computations, so a slow batch can be timed out or canceled without
+// leaking goroutines.
+type Session struct {
+	input  *Graph
+	served *Graph
+	oracle *Oracle
+	apsp   *APSPResult // nil when serving WithExact
+}
+
+// Serve builds a distance-serving session over g under ctx.
+//
+// By default it runs the full Corollary 1.4 pipeline — a near-linear spanner
+// with k = ⌈log₂ n⌉ built on the simulated MPC cluster (honoring WithT,
+// WithGamma, WithSeed, WithWorkers, WithProgress), collected onto one
+// machine and wrapped in the cached oracle — so queries answer with the
+// certified O(log^{1+o(1)} n) approximation. With WithExact the pipeline is
+// skipped and distances are served on g as given; use that for exact
+// serving, or to serve a spanner built separately with Build:
+//
+//	res, _ := mpcspanner.Build(ctx, g, mpcspanner.WithK(8))
+//	s, _ := mpcspanner.Serve(ctx, res.Spanner(), mpcspanner.WithExact())
+//	d, err := s.Query(ctx, 0, 99)
+//
+// WithCacheShards and WithCacheRows size the serving cache. Cancellation and
+// error classification follow the Build contract (ErrCanceled /
+// ErrInvalidOption via errors.Is).
+func Serve(ctx context.Context, g *Graph, opts ...Option) (*Session, error) {
+	cfg, err := newConfig("Serve", buildOnly, opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.exact {
+		// Exact mode runs no pipeline, so the pipeline-only options would
+		// be dead weight; reject them like every other foreign option.
+		for _, field := range []string{"Seed", "T", "Gamma", "Progress"} {
+			if cfg.set[field] {
+				return nil, &OptionError{Field: "mpcspanner: " + field, Value: "(set)",
+					Reason: "not accepted together with WithExact (no build runs)"}
+			}
+		}
+	}
+	if err := core.Check(ctx); err != nil {
+		return nil, err
+	}
+	s := &Session{input: g, served: g}
+	if !cfg.exact {
+		res, err := apsp.ApproxCtx(ctx, g, apsp.Options{
+			Seed: cfg.seed, T: cfg.t, Gamma: cfg.gamma,
+			Workers: cfg.workers, Progress: cfg.progress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.apsp = res
+		s.served = res.Spanner()
+		if cfg.shards == 0 && cfg.maxRows == 0 {
+			// Default cache sizing: share the pipeline result's oracle, so
+			// Session queries and APSPResult.DistancesFrom hit one cache
+			// instead of recomputing identical rows into two.
+			s.oracle = res.Oracle()
+			return s, nil
+		}
+	}
+	s.oracle = oracle.New(s.served, oracle.Options{
+		Shards: cfg.shards, MaxRows: cfg.maxRows, Workers: cfg.workers,
+	})
+	return s, nil
+}
+
+// Query returns the distance from u to v on the served graph (Inf when
+// unreachable), caching the source row. Invalid vertices return
+// ErrInvalidOption-classified errors; a done context returns an
+// ErrCanceled-classified error at the next per-row checkpoint.
+func (s *Session) Query(ctx context.Context, u, v int) (float64, error) {
+	return s.oracle.QueryCtx(ctx, u, v)
+}
+
+// QueryMany answers a batch: out[i] is the distance for pairs[i]. Resident
+// sources answer immediately; the remaining distinct sources fan out over
+// the session's worker pool, which re-checks ctx before each source. The
+// output is a pure function of (served graph, pairs) regardless of
+// scheduling and cache state.
+func (s *Session) QueryMany(ctx context.Context, pairs []Pair) ([]float64, error) {
+	return s.oracle.QueryManyCtx(ctx, pairs)
+}
+
+// Row returns the full distance row from src, computing and caching it on a
+// miss. The returned slice is shared with the cache: callers must not mutate
+// it.
+func (s *Session) Row(ctx context.Context, src int) ([]float64, error) {
+	return s.oracle.RowCtx(ctx, src)
+}
+
+// Stats snapshots the serving cache's hit/miss/eviction counters.
+func (s *Session) Stats() OracleStats { return s.oracle.Stats() }
+
+// Served returns the graph queries are answered on: the collected spanner,
+// or the input graph under WithExact.
+func (s *Session) Served() *Graph { return s.served }
+
+// Input returns the graph Serve was called with.
+func (s *Session) Input() *Graph { return s.input }
+
+// APSP returns the Corollary 1.4 build artifact behind the session (rounds,
+// certified bound, spanner size), or nil when the session was created with
+// WithExact.
+func (s *Session) APSP() *APSPResult { return s.apsp }
+
+// ApproxAPSPCtx is the context-aware §7 pipeline (Corollary 1.4): identical
+// to the deprecated ApproxAPSP but cancelable at every simulated grow
+// iteration and able to report progress through APSPOptions.Progress. Use
+// Serve when you want the result wrapped in a serving Session.
+func ApproxAPSPCtx(ctx context.Context, g *Graph, opt APSPOptions) (*APSPResult, error) {
+	if err := par.CheckWorkers("mpcspanner: APSPOptions.Workers", opt.Workers); err != nil {
+		return nil, err
+	}
+	return apsp.ApproxCtx(ctx, g, opt)
+}
