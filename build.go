@@ -27,6 +27,8 @@ type config struct {
 	reps     int
 	radius   bool
 	progress func(ProgressEvent)
+	metrics  *Metrics
+	tracer   *Tracer
 
 	// Serving-side knobs (Serve only).
 	exact   bool
@@ -136,7 +138,7 @@ var (
 	// The Corollary 1.5 pipeline fixes its structural parameters, so only
 	// WithSeed / WithWorkers / WithProgress apply.
 	cliqueAPSPForeign = []string{"Algorithm", "K", "T", "Gamma", "Repetitions",
-		"MeasureRadius", "Exact", "CacheShards", "CacheRows"}
+		"MeasureRadius", "Exact", "CacheShards", "CacheRows", "Metrics", "Tracer"}
 )
 
 // newConfig folds opts and rejects the ones foreign to the calling entry
@@ -251,12 +253,15 @@ func Build(ctx context.Context, g *Graph, opts ...Option) (*BuildResult, error) 
 			Reason: "must be >= 0 (0 and 1 both mean a single run)"}
 	}
 
+	cfg.hookPoolMetrics()
 	engineOpts := spanner.Options{
 		Seed:          cfg.seed,
 		Repetitions:   cfg.reps,
 		Workers:       cfg.workers,
 		MeasureRadius: cfg.radius,
 		Progress:      cfg.progress,
+		Metrics:       cfg.metrics,
+		Tracer:        cfg.tracer,
 	}
 	gamma := cfg.gamma
 	if gamma == 0 {
@@ -303,7 +308,8 @@ func Build(ctx context.Context, g *Graph, opts ...Option) (*BuildResult, error) 
 		engineResult, err = spanner.BaswanaSenCtx(ctx, g, cfg.k, engineOpts)
 	case AlgoUnweighted:
 		r, err := spanner.UnweightedCtx(ctx, g, cfg.k, spanner.UnweightedOptions{
-			Seed: cfg.seed, Gamma: cfg.gamma, Workers: cfg.workers, Progress: cfg.progress,
+			Seed: cfg.seed, Gamma: cfg.gamma, Workers: cfg.workers,
+			Progress: traceProgress(cfg.tracer, cfg.progress),
 		})
 		if err != nil {
 			return nil, err
@@ -315,7 +321,9 @@ func Build(ctx context.Context, g *Graph, opts ...Option) (*BuildResult, error) 
 			t = defaultT(cfg.k)
 		}
 		r, err := mpc.BuildSpannerCtx(ctx, g, cfg.k, t, cfg.seed, mpc.Options{
-			Gamma: gamma, Workers: cfg.workers, Progress: cfg.progress,
+			Gamma: gamma, Workers: cfg.workers,
+			Progress: traceProgress(cfg.tracer, cfg.progress),
+			Metrics:  cfg.metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -327,7 +335,7 @@ func Build(ctx context.Context, g *Graph, opts ...Option) (*BuildResult, error) 
 			t = defaultT(cfg.k)
 		}
 		r, err := cclique.BuildSpannerCtx(ctx, g, cfg.k, t, cfg.seed, cclique.BuildOptions{
-			Workers: cfg.workers, Progress: cfg.progress,
+			Workers: cfg.workers, Progress: traceProgress(cfg.tracer, cfg.progress),
 		})
 		if err != nil {
 			return nil, err

@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	"mpcspanner"
+	"mpcspanner/cmd/internal/cliutil"
 	"mpcspanner/internal/dist"
 )
 
@@ -32,7 +33,8 @@ func main() {
 	t := flag.Int("t", 0, "epoch length (0 = Corollary 1.4 default loglog n)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	queries := flag.Int("queries", 3, "sample source vertices to query and check")
-	clique := flag.Bool("clique", false, "run the Congested Clique variant (Corollary 1.5)")
+	clique := flag.Bool("clique", false, "run the Congested Clique variant (Corollary 1.5; not instrumented by -metrics)")
+	met := cliutil.MetricsFlag()
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -66,6 +68,7 @@ func main() {
 	res, err := mpcspanner.ApproxAPSPCtx(ctx, g, mpcspanner.APSPOptions{
 		Seed: *seed, T: *t,
 		Progress: func(ev mpcspanner.ProgressEvent) { last.Store(&ev) },
+		Metrics:  met.Registry(),
 	})
 	if err != nil {
 		fatal(err, last.Load())
@@ -88,6 +91,9 @@ func main() {
 			}
 		}
 		fmt.Printf("query src=%d: worst ratio %.3f (at vertex %d)\n", src, worst, at)
+	}
+	if err := met.Dump(); err != nil {
+		log.Fatal(err)
 	}
 }
 

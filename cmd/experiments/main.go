@@ -19,13 +19,16 @@ import (
 	"syscall"
 	"time"
 
+	"mpcspanner/cmd/internal/cliutil"
 	"mpcspanner/internal/bench"
+	"mpcspanner/internal/par"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced instance sizes")
 	seed := flag.Uint64("seed", 2024, "master seed for workloads and algorithms")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. T1,T9,F1)")
+	met := cliutil.MetricsFlag()
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -38,7 +41,12 @@ func main() {
 		}
 	}
 
-	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, Metrics: met.Registry()}
+	if cfg.Metrics != nil {
+		// The harness calls the internal packages directly, so the facade's
+		// worker-pool hook never runs; attach the par_* series here.
+		par.SetMetrics(cfg.Metrics)
+	}
 	start := time.Now()
 	ran := 0
 	canceled := false
@@ -64,4 +72,8 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("ran %d experiments in %s (quick=%v, seed=%d)\n", ran, time.Since(start).Round(time.Millisecond), *quick, *seed)
+	if err := met.Dump(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -3,11 +3,14 @@
 package cliutil
 
 import (
+	"bufio"
+	"flag"
 	"fmt"
 	"math"
 	"os"
 
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/obs"
 )
 
 // MakeGraph loads a graph from file when in is non-empty, otherwise
@@ -67,4 +70,65 @@ func MakeGraph(in, gen string, n int, deg, maxW float64, seed uint64, connectify
 		g = graph.Connectify(g, math.Max(1, maxW))
 	}
 	return g, nil
+}
+
+// MetricsSink wires the shared -metrics flag: every CLI that constructs
+// spanners or serves distances registers it the same way, so one flag
+// vocabulary covers the whole cmd/* family. The zero path means "off" —
+// Registry then returns nil and the instrumented libraries run their
+// uninstrumented (allocation-free) paths.
+type MetricsSink struct {
+	path string
+	reg  *obs.Registry
+}
+
+// MetricsFlag registers -metrics on the default FlagSet and returns the
+// sink. Call Registry after flag.Parse to get the registry (nil when the
+// flag was not given) and Dump once the run finishes.
+func MetricsFlag() *MetricsSink {
+	m := &MetricsSink{}
+	flag.StringVar(&m.path, "metrics", "",
+		"dump Prometheus-text metrics to this file when done ('-' = stderr; off when empty)")
+	return m
+}
+
+// Registry returns the registry backing the flag, creating it on first use;
+// nil when -metrics was not given.
+func (m *MetricsSink) Registry() *obs.Registry {
+	if m == nil || m.path == "" {
+		return nil
+	}
+	if m.reg == nil {
+		m.reg = obs.NewRegistry()
+	}
+	return m.reg
+}
+
+// Dump writes the accumulated series in Prometheus text exposition to the
+// flag's destination. A no-op when -metrics was not given.
+func (m *MetricsSink) Dump() error {
+	if m.Registry() == nil {
+		return nil
+	}
+	if m.path == "-" {
+		w := bufio.NewWriter(os.Stderr)
+		if err := m.reg.WriteProm(w); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	f, err := os.Create(m.path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := m.reg.WriteProm(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

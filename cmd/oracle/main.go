@@ -22,6 +22,8 @@ import (
 	"io"
 	"log"
 	"math"
+	"net/http"
+	_ "net/http/pprof" // -listen exposes /debug/pprof alongside /metrics
 	"os"
 	"os/signal"
 	"strconv"
@@ -53,7 +55,26 @@ func main() {
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = NumCPU)")
 	batch := flag.Int("batch", 1024, "serve queries in batches of this size (stats then show cross-batch cache hits); <= 0 = one batch")
 	quiet := flag.Bool("quiet", false, "suppress per-query output, print stats only")
+	listen := flag.String("listen", "", "serve live /metrics and /debug/pprof on this address while running (e.g. :9090)")
+	met := cliutil.MetricsFlag()
 	flag.Parse()
+
+	// One registry feeds the build (mpc_* series), the serving oracle
+	// (oracle_* series), the -metrics dump and the -listen endpoint. -listen
+	// alone instruments too: a live /metrics is pointless uninstrumented.
+	reg := met.Registry()
+	if *listen != "" {
+		if reg == nil {
+			reg = mpcspanner.NewMetrics()
+		}
+		http.Handle("/metrics", reg.Handler())
+		go func() {
+			if err := http.ListenAndServe(*listen, nil); err != nil {
+				log.Fatalf("-listen %s: %v", *listen, err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "listening on %s (/metrics, /debug/pprof)\n", *listen)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -89,12 +110,18 @@ func main() {
 		if kk <= 0 {
 			kk, _ = apsp.Params(g.N(), 0) // Corollary 1.4's k = ⌈log₂ n⌉
 		}
-		start := time.Now()
-		buildOpts := []mpcspanner.Option{mpcspanner.WithK(kk), mpcspanner.WithSeed(*seed)}
-		if *t > 0 {
-			buildOpts = append(buildOpts, mpcspanner.WithT(*t))
+		tt := *t
+		if tt <= 0 {
+			tt = int(math.Max(1, math.Ceil(math.Log2(float64(kk)))))
 		}
-		res, err := mpcspanner.Build(ctx, g, buildOpts...)
+		start := time.Now()
+		// Build on the simulated MPC plane — bit-identical to the local
+		// engine for equal seeds, and the plane the mpc_* round/load series
+		// on /metrics describe.
+		res, err := mpcspanner.Build(ctx, g,
+			mpcspanner.WithAlgorithm(mpcspanner.AlgoMPC),
+			mpcspanner.WithK(kk), mpcspanner.WithT(tt), mpcspanner.WithSeed(*seed),
+			mpcspanner.WithMetrics(reg))
 		if err != nil {
 			if errors.Is(err, mpcspanner.ErrCanceled) {
 				fmt.Fprintln(os.Stderr, "canceled during the spanner build; no queries served")
@@ -102,13 +129,14 @@ func main() {
 			log.Fatal(err)
 		}
 		serve = res.Spanner()
-		fmt.Fprintf(os.Stderr, "spanner: k=%d %d/%d edges, stretch <= %.2f, built in %v\n",
-			kk, serve.M(), g.M(), mpcspanner.StretchBound(kk, res.Stats.T), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "spanner: k=%d %d/%d edges, stretch <= %.2f, %d simulated rounds, built in %v\n",
+			kk, serve.M(), g.M(), mpcspanner.StretchBound(kk, tt), res.MPC.Rounds,
+			time.Since(start).Round(time.Millisecond))
 	}
 
 	s, err := mpcspanner.Serve(ctx, serve, mpcspanner.WithExact(),
 		mpcspanner.WithCacheShards(*shards), mpcspanner.WithCacheRows(*rows),
-		mpcspanner.WithWorkers(*workers))
+		mpcspanner.WithWorkers(*workers), mpcspanner.WithMetrics(reg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,6 +178,20 @@ func main() {
 		len(dists), elapsed.Round(time.Microsecond), perQ)
 	fmt.Fprintf(os.Stderr, "cache: hits=%d misses=%d evictions=%d resident=%d\n",
 		st.Hits, st.Misses, st.Evictions, st.Resident)
+	if *synth > 0 && reg != nil {
+		if h := reg.Snapshot().Histogram("oracle_row_seconds"); h != nil && h.Count > 0 {
+			fmt.Fprintf(os.Stderr, "row latency (%d rows): p50=%v p95=%v p99=%v\n", h.Count,
+				quantDur(h, 0.50), quantDur(h, 0.95), quantDur(h, 0.99))
+		}
+	}
+	if err := met.Dump(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// quantDur renders a latency-histogram quantile as a rounded duration.
+func quantDur(h *mpcspanner.HistogramSnapshot, q float64) time.Duration {
+	return time.Duration(h.Quantile(q) * float64(time.Second)).Round(time.Microsecond)
 }
 
 // readPairs parses one "u v" pair per line; '-' reads stdin.

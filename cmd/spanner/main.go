@@ -43,6 +43,7 @@ func main() {
 	verify := flag.Int("verify", 2000, "edges to sample for stretch verification (0 = skip)")
 	progress := flag.Bool("progress", false, "print per-iteration progress to stderr")
 	out := flag.String("out", "", "write the spanner subgraph to this file")
+	met := cliutil.MetricsFlag()
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -57,6 +58,7 @@ func main() {
 	opts := []mpcspanner.Option{
 		mpcspanner.WithK(*k),
 		mpcspanner.WithSeed(*seed),
+		mpcspanner.WithMetrics(met.Registry()),
 	}
 	if *t > 0 {
 		opts = append(opts, mpcspanner.WithT(*t))
@@ -116,6 +118,9 @@ func main() {
 		}
 	}
 	report(g, res.EdgeIDs, bound, *verify, *seed, *out)
+	if err := met.Dump(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // reportCanceled prints how far an interrupted build got before its context

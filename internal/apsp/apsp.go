@@ -20,6 +20,7 @@ import (
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/mpc"
+	"mpcspanner/internal/obs"
 	"mpcspanner/internal/oracle"
 	"mpcspanner/internal/par"
 	"mpcspanner/internal/spanner"
@@ -50,6 +51,11 @@ type Options struct {
 	// MPC driver's "mpc-*" stages plus one final "collect" event). Same
 	// contract as mpc.Options.Progress.
 	Progress func(core.ProgressEvent)
+
+	// Metrics, when non-nil, instruments the whole pipeline on one registry:
+	// the simulated build (mpc_* series) and the serving oracle created by
+	// Result.Oracle() (oracle_* series). nil runs uninstrumented.
+	Metrics *obs.Registry
 }
 
 // Result is a completed Corollary 1.4 run.
@@ -69,7 +75,8 @@ type Result struct {
 
 	g       *graph.Graph
 	spanner *graph.Graph
-	workers int // serving-side pool size (par conventions)
+	workers int           // serving-side pool size (par conventions)
+	metrics *obs.Registry // carried into the shared oracle (may be nil)
 
 	oracleOnce sync.Once
 	oracle     *oracle.Oracle
@@ -116,7 +123,8 @@ func ApproxCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error
 	k, t := Params(g.N(), opt.T)
 
 	build, err := mpc.BuildSpannerCtx(ctx, g, k, t, opt.Seed,
-		mpc.Options{Gamma: gamma, Workers: opt.Workers, Progress: opt.Progress})
+		mpc.Options{Gamma: gamma, Workers: opt.Workers, Progress: opt.Progress,
+			Metrics: opt.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +159,7 @@ func ApproxCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error
 		g:                g,
 		spanner:          g.Subgraph(build.EdgeIDs),
 		workers:          opt.Workers,
+		metrics:          opt.Metrics,
 	}
 	if opt.Progress != nil {
 		opt.Progress(core.ProgressEvent{Stage: "collect", Algorithm: "apsp",
@@ -187,7 +196,8 @@ func (r *Result) Oracle() *oracle.Oracle {
 		if rows > 1024 {
 			rows = 1024
 		}
-		r.oracle = oracle.New(r.spanner, oracle.Options{MaxRows: rows, Workers: r.workers})
+		r.oracle = oracle.New(r.spanner, oracle.Options{MaxRows: rows, Workers: r.workers,
+			Metrics: r.metrics})
 	})
 	return r.oracle
 }

@@ -9,6 +9,7 @@ import (
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/mpc"
+	"mpcspanner/internal/oracle"
 	"mpcspanner/internal/pram"
 	"mpcspanner/internal/spanner"
 )
@@ -263,7 +264,8 @@ func T8MPCRounds(cfg Config) Table {
 	g := graph.GNP(n, 14/float64(n), graph.UniformWeight(1, 40), cfg.Seed+80)
 	for _, gamma := range []float64{0.75, 0.5, 0.33} {
 		for _, c := range []struct{ k, t int }{{8, 1}, {8, 2}, {16, 4}} {
-			res, err := mpc.BuildSpanner(g, c.k, c.t, gamma, cfg.Seed+81)
+			res, err := mpc.BuildSpannerOpts(g, c.k, c.t, cfg.Seed+81,
+				mpc.Options{Gamma: gamma, Metrics: cfg.Metrics})
 			if err != nil {
 				panic(err)
 			}
@@ -299,9 +301,15 @@ func T9APSP(cfg Config) Table {
 	for _, n := range sizes {
 		g := graph.Connectify(graph.GNP(n, 10/float64(n), graph.UniformWeight(1, 100), cfg.Seed+90), 50)
 		for _, t := range []int{0, 1} { // 0 = Corollary default loglog n
-			res, err := apsp.Approx(g, apsp.Options{Seed: cfg.Seed + 91, T: t})
+			res, err := apsp.Approx(g, apsp.Options{Seed: cfg.Seed + 91, T: t, Metrics: cfg.Metrics})
 			if err != nil {
 				panic(err)
+			}
+			if cfg.Metrics != nil {
+				// Run a small query sample through the serving oracle so an
+				// instrumented dump carries the oracle_* latency and cache
+				// series alongside the build-side mpc_* series.
+				res.Oracle().QueryMany(oracle.ZipfWorkload(n, 64, 1.2, cfg.Seed+93))
 			}
 			rep, err := res.Measure(cfg.scale(20, 8), cfg.Seed+92)
 			if err != nil {

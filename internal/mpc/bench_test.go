@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/obs"
 )
 
 // BenchmarkSimSortByKey is the keyed-shuffle steady state the acceptance
@@ -67,4 +68,18 @@ func BenchmarkMPCBuild(b *testing.B) {
 			}
 		})
 	}
+	// The instrumented build must stay indistinguishable from the plain one
+	// (nil-safe handles, no locks, no deferred closures on the hot paths) —
+	// this sub-run keeps that claim measurable in the bench-regression gate.
+	reg := obs.NewRegistry()
+	b.Run("n=20k/k=16/t=4/workers=1/metrics=on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := BuildSpannerOpts(g, 16, 4, 7, Options{Gamma: 0.5, Workers: 1, Metrics: reg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Rounds), "mpc-rounds")
+		}
+	})
 }

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"mpcspanner/internal/cluster"
 	"mpcspanner/internal/core"
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/obs"
 	"mpcspanner/internal/par"
 	"mpcspanner/internal/spanner"
 	"mpcspanner/internal/xrand"
@@ -80,6 +82,13 @@ type Options struct {
 	// from the driver loop; the callback must not call back into the
 	// simulator.
 	Progress func(core.ProgressEvent)
+
+	// Metrics, when non-nil, attaches the simulator's cost counters (rounds,
+	// sorts, tuple volume, peak machine load — see Sim.SetMetrics) and the
+	// driver's per-iteration wall-clock histogram (mpc_iteration_seconds) to
+	// the registry. nil runs fully uninstrumented: the simulator carries
+	// inert nil handles and the driver reads no clocks.
+	Metrics *obs.Registry
 }
 
 // Result reports a distributed spanner construction: the spanner itself plus
@@ -150,6 +159,8 @@ func buildSpanner(ctx context.Context, g *graph.Graph, k, t int, seed uint64, op
 		return nil, err
 	}
 	sim.SetWorkers(opt.Workers)
+	sim.SetMetrics(opt.Metrics)
+	iterSeconds := opt.Metrics.Histogram("mpc_iteration_seconds", obs.LatencyBuckets)
 
 	// Input: two directed copies of every edge; supernode and cluster
 	// labels start as the vertex itself.
@@ -188,8 +199,15 @@ func buildSpanner(ctx context.Context, g *graph.Graph, k, t int, seed uint64, op
 			break
 		}
 		p := math.Pow(n, -spec.Exponent)
+		var iterStart time.Time
+		if iterSeconds != nil {
+			iterStart = time.Now()
+		}
 		if err := iterateDistributed(sim, p, uint64(spec.Epoch), uint64(spec.Iter), seed, ds, enc); err != nil {
 			return nil, err
+		}
+		if iterSeconds != nil {
+			iterSeconds.Observe(time.Since(iterStart).Seconds())
 		}
 		res.Iterations++
 		emit("mpc-grow", spec.Epoch, len(schedule))

@@ -1,0 +1,70 @@
+package mpc
+
+import (
+	"testing"
+
+	"mpcspanner/internal/obs"
+	"mpcspanner/internal/xrand"
+)
+
+// TestSimMetricsSeries checks that an instrumented Sim fills the paper-native
+// cost series: one round-volume observation and one shuffle-byte observation
+// per charged sort, and a peak-load gauge that tracks validate()'s maximum.
+func TestSimMetricsSeries(t *testing.T) {
+	rng := xrand.Split(31, 0x6d657472)
+	ts := randomTuples(rng, 3000, 64, 96, false)
+	s := loadSim(t, ts, 1)
+	reg := obs.NewRegistry()
+	s.SetMetrics(reg)
+
+	key := func(tp *Tuple) uint64 { return uint64(tp.Src)<<32 | uint64(uint32(tp.Orig)) }
+	for i := 0; i < 3; i++ {
+		if err := s.SortByKey(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("mpc_sorts_total"); v != 3 {
+		t.Fatalf("mpc_sorts_total = %d, want 3", v)
+	}
+	h := snap.Histogram("mpc_round_tuples")
+	if h == nil || h.Count != 3 {
+		t.Fatalf("mpc_round_tuples recorded %+v, want 3 observations", h)
+	}
+	if h.Sum != float64(3*s.Len()) {
+		t.Fatalf("mpc_round_tuples sum = %g, want %d", h.Sum, 3*s.Len())
+	}
+	hb := snap.Histogram("mpc_shuffle_bytes")
+	if hb == nil || hb.Sum != float64(int64(3*s.Len())*tupleBytes) {
+		t.Fatalf("mpc_shuffle_bytes = %+v, want sum %d", hb, int64(3*s.Len())*tupleBytes)
+	}
+	if v, _ := snap.Gauge("mpc_peak_machine_load_tuples"); v <= 0 || v > int64(s.s) {
+		t.Fatalf("mpc_peak_machine_load_tuples = %d, want in (0, S=%d]", v, s.s)
+	}
+	if v, _ := snap.Gauge("mpc_peak_total_tuples"); v != int64(s.Len()) {
+		t.Fatalf("mpc_peak_total_tuples = %d, want %d", v, s.Len())
+	}
+}
+
+// TestSimInstrumentedSteadyStateAllocs extends the arena contract to the
+// instrumented path: with a live registry attached, steady-state SortByKey
+// still allocates nothing — counters, gauges, and histogram observations are
+// all lock-free atomics on pre-registered handles.
+func TestSimInstrumentedSteadyStateAllocs(t *testing.T) {
+	rng := xrand.Split(29, 0x616c6c6f)
+	ts := randomTuples(rng, 5000, 64, 128, false)
+	s := loadSim(t, ts, 1)
+	s.SetMetrics(obs.NewRegistry())
+	key := func(tp *Tuple) uint64 { return uint64(tp.Src)<<32 | uint64(uint32(tp.Orig)) }
+	if err := s.SortByKey(key); err != nil { // size the arena
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if err := s.SortByKey(key); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("instrumented steady-state SortByKey allocated %.0f objects/op, want 0", allocs)
+	}
+}

@@ -25,7 +25,9 @@ package mpc
 import (
 	"fmt"
 	"math"
+	"unsafe"
 
+	"mpcspanner/internal/obs"
 	"mpcspanner/internal/par"
 )
 
@@ -75,6 +77,51 @@ type Sim struct {
 	peakLoad   int
 	peakTotal  int
 	totalMoved int64
+
+	// met mirrors the cost counters above into an obs registry when one is
+	// attached with SetMetrics. The zero value holds nil handles, whose
+	// mutations are no-ops, so the uninstrumented simulator pays one
+	// predictable nil-check per charge and allocates nothing either way.
+	met simMetrics
+}
+
+// simMetrics are the exposition handles for the paper's cost model: rounds,
+// sorts, tree ops and communication volume as counters; per-machine and
+// total memory high-water marks as gauges; per-round shuffle volume (in
+// tuples and bytes) as histograms, so the distribution over a build's rounds
+// is visible — the paper's O(m) total memory claim is about exactly these.
+type simMetrics struct {
+	roundTuples  *obs.Histogram // mpc_round_tuples: tuples shipped per sort round
+	shuffleBytes *obs.Histogram // mpc_shuffle_bytes: same, in bytes
+	peakLoad     *obs.Gauge     // mpc_peak_machine_load_tuples
+	peakTotal    *obs.Gauge     // mpc_peak_total_tuples
+	rounds       *obs.Counter   // mpc_rounds_total
+	sorts        *obs.Counter   // mpc_sorts_total
+	treeOps      *obs.Counter   // mpc_tree_ops_total
+	moved        *obs.Counter   // mpc_tuples_moved_total
+}
+
+// tupleBytes is the wire size a shipped Tuple is accounted at.
+const tupleBytes = int64(unsafe.Sizeof(Tuple{}))
+
+// SetMetrics attaches the simulator's cost counters to r (get-or-create, so
+// multiple Sims sharing a registry aggregate, Prometheus-style). A nil
+// registry detaches: all handles revert to inert nil pointers.
+func (m *Sim) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		m.met = simMetrics{}
+		return
+	}
+	m.met = simMetrics{
+		roundTuples:  r.Histogram("mpc_round_tuples", obs.SizeBuckets),
+		shuffleBytes: r.Histogram("mpc_shuffle_bytes", obs.SizeBuckets),
+		peakLoad:     r.Gauge("mpc_peak_machine_load_tuples"),
+		peakTotal:    r.Gauge("mpc_peak_total_tuples"),
+		rounds:       r.Counter("mpc_rounds_total"),
+		sorts:        r.Counter("mpc_sorts_total"),
+		treeOps:      r.Counter("mpc_tree_ops_total"),
+		moved:        r.Counter("mpc_tuples_moved_total"),
+	}
 }
 
 // NewSim sizes a cluster for an n-vertex input of totalTuples tuples with
@@ -172,6 +219,8 @@ func (m *Sim) validate(op string) error {
 	if load > m.peakLoad {
 		m.peakLoad = load
 	}
+	m.met.peakLoad.SetMax(int64(load))
+	m.met.peakTotal.SetMax(int64(len(m.data)))
 	if load > m.s {
 		return fmt.Errorf("mpc: %s overflows local memory: %d tuples/machine > S=%d (P=%d, total=%d)",
 			op, load, m.s, m.p, len(m.data))
@@ -246,6 +295,11 @@ func (m *Sim) chargeSort() error {
 	m.rounds += m.SortRounds()
 	m.sorts++
 	m.totalMoved += int64(len(m.data))
+	m.met.rounds.Add(int64(m.SortRounds()))
+	m.met.sorts.Inc()
+	m.met.moved.Add(int64(len(m.data)))
+	m.met.roundTuples.Observe(float64(len(m.data)))
+	m.met.shuffleBytes.Observe(float64(int64(len(m.data)) * tupleBytes))
 	return m.validate("sort")
 }
 
@@ -378,8 +432,13 @@ func (m *Sim) ForSegments(starts []int, fn func(shard, si, lo, hi int)) {
 func (m *Sim) ChargeTree(times int) {
 	m.rounds += times * m.TreeRounds()
 	m.treeOps += times
+	m.met.rounds.Add(int64(times * m.TreeRounds()))
+	m.met.treeOps.Add(int64(times))
 }
 
 // ChargeRounds charges raw rounds (used for fixed-cost steps such as the
 // single-round sampling-outcome exchange of Theorem 8.1).
-func (m *Sim) ChargeRounds(r int) { m.rounds += r }
+func (m *Sim) ChargeRounds(r int) {
+	m.rounds += r
+	m.met.rounds.Add(int64(r))
+}

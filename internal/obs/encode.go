@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// WriteProm encodes the registry in the Prometheus text exposition format
+// (version 0.0.4): one `# TYPE` line per family, cumulative `_bucket{le=…}`
+// series plus `_sum` and `_count` per histogram. Output is sorted by metric
+// name (via Snapshot), so equal states encode byte-identically.
+func (r *Registry) WriteProm(w io.Writer) error {
+	return r.Snapshot().WriteProm(w)
+}
+
+// WriteProm encodes the snapshot in the Prometheus text exposition format.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.Name, g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if len(h.Counts) > len(h.Bounds) {
+			cum += h.Counts[len(h.Bounds)]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", h.Name, promFloat(h.Sum), h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promFloat formats a float the way Prometheus expects: shortest
+// round-trippable decimal, "+Inf"/"-Inf" for infinities.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON encodes the registry snapshot as indented JSON, sorted by
+// metric name within each section.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}
+
+// WriteJSON encodes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — the `/metrics` endpoint. Append `?format=json` for the JSON
+// encoding instead.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}
+
+var expvarPublished sync.Map // name -> bool
+
+// PublishExpvar publishes the registry's snapshot under name in the
+// process-wide expvar namespace (visible at /debug/vars alongside pprof).
+// The variable re-snapshots on every read. Publishing the same name twice
+// replaces nothing and does not panic — the first registration wins, which
+// keeps repeated CLI invocations inside one test binary safe.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	if _, loaded := expvarPublished.LoadOrStore(name, true); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,431 @@
+// Package obs is the repository's observability subsystem: a
+// concurrency-safe registry of named counters, gauges and fixed-bucket
+// histograms plus a lightweight span tracer, built on nothing but the
+// standard library. It exists so every layer that embodies the paper's cost
+// model — the simulated MPC cluster (rounds, tuple volume, per-machine
+// load), the spanner engine (phases, cluster counts), the serving oracle
+// (hit/miss/latency) and the parallel-execution pool — reports into one
+// exposition surface instead of each inventing its own counters.
+//
+// Design rules:
+//
+//   - The mutation hot path is lock-free: Counter.Add / Gauge.Set /
+//     Histogram.Observe are a handful of atomic operations and allocate
+//     nothing, so instrumentation never perturbs the allocation-free hot
+//     paths pinned by the bench regression gate.
+//   - Every metric type is nil-safe: calling any mutation or read method on
+//     a nil *Counter, *Gauge, *Histogram, *Registry or *Tracer is a no-op
+//     (or zero value), so uninstrumented runs carry nil handles and pay one
+//     predictable branch per call — no conditional wiring at call sites.
+//   - Reads are deterministic: Snapshot sorts every section by metric name,
+//     so two snapshots of equal state encode byte-identically (the golden
+//     encoder tests rely on this).
+//
+// Registration is get-or-create: asking for an existing name returns the
+// same handle, so layers sharing one registry (a facade Build feeding a
+// Serve session, several oracles behind one exposition endpoint) aggregate
+// naturally, Prometheus-style. Registering one name as two different metric
+// types panics — that is a programming error, not a runtime condition.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. The zero value is not usable; create one
+// with NewRegistry. A nil *Registry is a valid "observability disabled"
+// value: its methods return nil handles whose mutations are no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkFree(name, "counter")
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkFree(name, "gauge")
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds (ascending; an implicit +Inf overflow bucket
+// is always appended) on first use. A later call with different bounds
+// returns the originally registered histogram unchanged. Returns nil (a
+// no-op handle) on a nil registry; panics on unsorted or empty bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.checkFree(name, "histogram")
+	if len(bounds) == 0 {
+		panic("obs: histogram " + name + " needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram " + name + " bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// checkFree panics when name is already registered as another metric type.
+// Caller holds r.mu.
+func (r *Registry) checkFree(name, as string) {
+	if _, ok := r.counters[name]; ok {
+		panic("obs: " + name + " already registered as a counter, requested as " + as)
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic("obs: " + name + " already registered as a gauge, requested as " + as)
+	}
+	if _, ok := r.histograms[name]; ok {
+		panic("obs: " + name + " already registered as a histogram, requested as " + as)
+	}
+}
+
+// Counter is a monotonically increasing int64. The zero value of the nil
+// pointer is the disabled handle; obtain live ones from Registry.Counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil handle.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil handle.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered name ("" on a nil handle).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is an int64 that can move both ways. Obtain live handles from
+// Registry.Gauge; a nil *Gauge is the disabled handle.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores v. No-op on a nil handle.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by n (negative to decrease). No-op on a nil handle.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// watermark operation behind peak-load gauges. No-op on a nil handle.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Name returns the registered name ("" on a nil handle).
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Histogram counts float64 observations into fixed buckets with inclusive
+// upper bounds (Prometheus "le" semantics) plus an implicit +Inf overflow
+// bucket. Observe is a binary search plus three atomic updates; it never
+// allocates and never locks.
+type Histogram struct {
+	name   string
+	bounds []float64 // finite upper bounds, ascending
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records v. No-op on a nil handle. NaN observations are dropped
+// (they would poison the sum and fit no bucket).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: inclusive "le"
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Name returns the registered name ("" on a nil handle).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// snap reads the histogram into a HistogramSnap. Per-bucket reads are
+// individually atomic; a snapshot taken during concurrent observation is a
+// consistent-enough exposition (standard for lock-free histograms).
+func (h *Histogram) snap() HistogramSnap {
+	s := HistogramSnap{
+		Name:   h.name,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// CounterSnap is one counter in a Snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a Snapshot.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnap is one histogram in a Snapshot: Counts[i] holds the
+// observations with value <= Bounds[i]; the final entry (len(Bounds)) is the
+// +Inf overflow bucket. Counts are per-bucket, not cumulative — the
+// Prometheus encoder accumulates on the way out.
+type HistogramSnap struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// inside the bucket holding the rank, the standard fixed-bucket estimate.
+// Ranks landing in the overflow bucket report the largest finite bound (the
+// estimate cannot extrapolate past it); an empty histogram reports 0.
+func (h HistogramSnap) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := 0.0
+	for i, c := range h.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		return lo + (h.Bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Snapshot is a deterministic point-in-time read of a registry: every
+// section is sorted by metric name, so equal states encode byte-identically.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges"`
+	Histograms []HistogramSnap `json:"histograms"`
+}
+
+// Histogram returns the named histogram's snapshot, or nil when absent.
+func (s Snapshot) Histogram(name string) *HistogramSnap {
+	for i := range s.Histograms {
+		if s.Histograms[i].Name == name {
+			return &s.Histograms[i]
+		}
+	}
+	return nil
+}
+
+// Counter returns the named counter's value and whether it exists.
+func (s Snapshot) Counter(name string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the named gauge's value and whether it exists.
+func (s Snapshot) Gauge(name string) (int64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Snapshot reads every registered metric. A nil registry snapshots empty.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: c.name, Value: c.Value()})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: g.name, Value: g.Value()})
+	}
+	for _, h := range hists {
+		s.Histograms = append(s.Histograms, h.snap())
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// ExpBuckets returns count exponentially spaced bucket bounds starting at
+// start and multiplying by factor: the bucket shape for quantities spanning
+// orders of magnitude (latencies, tuple volumes). Panics on a non-positive
+// start, a factor <= 1, or count < 1.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets spans 250ns..~8s in powers of two — fine enough at the
+// bottom to separate cache hits from misses, wide enough at the top for
+// cold builds. Shared by every latency histogram so dashboards align.
+var LatencyBuckets = ExpBuckets(250e-9, 2, 26)
+
+// SizeBuckets spans 256..~2·10⁹ in powers of two, for tuple volumes, byte
+// counts and other cardinalities.
+var SizeBuckets = ExpBuckets(256, 2, 24)

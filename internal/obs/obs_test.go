@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryGetOrCreate pins the aggregation contract: the same name
+// returns the same handle, so layers sharing a registry share series.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total")
+	c2 := r.Counter("x_total")
+	if c1 != c2 {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g1, g2 := r.Gauge("x_gauge"), r.Gauge("x_gauge")
+	if g1 != g2 {
+		t.Fatal("Gauge is not get-or-create")
+	}
+	h1 := r.Histogram("x_hist", []float64{1, 2})
+	h2 := r.Histogram("x_hist", []float64{100}) // bounds ignored on re-get
+	if h1 != h2 {
+		t.Fatal("Histogram is not get-or-create")
+	}
+	if got := h2.snap().Bounds; len(got) != 2 {
+		t.Fatalf("re-registration changed bounds: %v", got)
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("name")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-type re-registration did not panic")
+		}
+	}()
+	r.Gauge("name")
+}
+
+// TestNilSafety pins the disabled-handle contract the zero-alloc hot paths
+// rely on: every mutation and read on nil handles is a no-op / zero value.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c, g := r.Counter("c"), r.Gauge("g")
+	h := r.Histogram("h", LatencyBuckets)
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Add(1)
+	g.SetMax(9)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || c.Name() != "" || g.Name() != "" || h.Name() != "" {
+		t.Fatal("nil handles are not inert")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	r.PublishExpvar("nil-reg")
+
+	var tr *Tracer
+	sp := tr.StartSpan("x")
+	sp.SetInt("k", 1).End()
+	if tr.Spans() != nil || tr.Summary() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer is not inert")
+	}
+}
+
+// TestNilMetricMutationsAllocNothing proves the disabled handles keep
+// instrumented hot paths at 0 allocs/op — the property the bench gate
+// depends on once mpc.Sim and the oracle carry metric fields.
+func TestNilMetricMutationsAllocNothing(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.SetMax(2)
+		h.Observe(3)
+		sp := tr.StartSpan("s")
+		sp.SetInt("k", 4)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-handle mutations allocate: %v allocs/op", allocs)
+	}
+}
+
+// TestLiveMetricMutationsAllocNothing proves the enabled hot path is also
+// allocation-free: Observe/Add/SetMax on live handles are pure atomics.
+func TestLiveMetricMutationsAllocNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", LatencyBuckets)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.SetMax(2)
+		h.Observe(1e-6)
+	})
+	if allocs != 0 {
+		t.Fatalf("live-handle mutations allocate: %v allocs/op", allocs)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	// Inclusive upper bounds (Prometheus le): 1 lands in bucket 0;
+	// 1.0000001 in bucket 1; 100 in bucket 2; 100.5 overflows.
+	for _, v := range []float64{0.5, 1, 1.0000001, 10, 99.9, 100, 100.5, 1e9, math.NaN()} {
+		h.Observe(v)
+	}
+	s := h.snap()
+	want := []uint64{2, 2, 2, 2} // NaN dropped; 100.5 and 1e9 overflow
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d: got %d want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Fatalf("count: got %d want 8", s.Count)
+	}
+	wantSum := 0.5 + 1 + 1.0000001 + 10 + 99.9 + 100 + 100.5 + 1e9
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Fatalf("sum: got %v want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{10, 20, 30, 40})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i%40) + 0.5) // uniform-ish over (0,40]
+	}
+	s := h.snap()
+	if q := s.Quantile(0); q < 0 || q > 10 {
+		t.Fatalf("q0 out of first bucket: %v", q)
+	}
+	med := s.Quantile(0.5)
+	if med < 10 || med > 30 {
+		t.Fatalf("median implausible: %v", med)
+	}
+	if q := s.Quantile(1); q != 40 {
+		t.Fatalf("q1: got %v want 40", q)
+	}
+	// Overflow-bucket ranks clamp to the largest finite bound.
+	h2 := r.Histogram("h2", []float64{1})
+	h2.Observe(5)
+	if q := h2.snap().Quantile(0.99); q != 1 {
+		t.Fatalf("overflow quantile: got %v want 1", q)
+	}
+	var empty HistogramSnap
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile: got %v want 0", q)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("peak")
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatalf("SetMax lowered the watermark: %d", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatalf("SetMax did not raise: %d", g.Value())
+	}
+}
+
+// TestConcurrency hammers registration and mutation from many goroutines;
+// meaningful under -race, and asserts exact totals after the barrier.
+func TestConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, iters = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("peak").SetMax(int64(id*iters + j))
+				r.Histogram("lat", LatencyBuckets).Observe(float64(j) * 1e-6)
+				r.Counter("own_total_" + string(rune('a'+id))).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if v, _ := s.Counter("shared_total"); v != goroutines*iters {
+		t.Fatalf("shared counter: got %d want %d", v, goroutines*iters)
+	}
+	if v, _ := s.Gauge("peak"); v != goroutines*iters-1 {
+		t.Fatalf("peak gauge: got %d want %d", v, goroutines*iters-1)
+	}
+	h := s.Histogram("lat")
+	if h == nil || h.Count != goroutines*iters {
+		t.Fatalf("histogram count wrong: %+v", h)
+	}
+	sumBuckets := uint64(0)
+	for _, c := range h.Counts {
+		sumBuckets += c
+	}
+	if sumBuckets != h.Count {
+		t.Fatalf("bucket totals %d != count %d", sumBuckets, h.Count)
+	}
+}
+
+// TestWritePromGolden pins the exposition bytes: deterministic ordering,
+// cumulative buckets, +Inf terminator, _sum/_count.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(7)
+	r.Counter("a_total").Add(3)
+	r.Gauge("load").Set(42)
+	h := r.Histogram("lat_seconds", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(1)
+	h.Observe(99)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE a_total counter
+a_total 3
+# TYPE b_total counter
+b_total 7
+# TYPE load gauge
+load 42
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.5"} 2
+lat_seconds_bucket{le="2"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 100.75
+lat_seconds_count 4
+`
+	if sb.String() != want {
+		t.Fatalf("prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestWriteJSONGolden pins the JSON shape consumed by the -metrics dump.
+func TestWriteJSONGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Add(2)
+	r.Gauge("rows").Set(1)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "counters": [
+    {
+      "name": "hits_total",
+      "value": 2
+    }
+  ],
+  "gauges": [
+    {
+      "name": "rows",
+      "value": 1
+    }
+  ],
+  "histograms": [
+    {
+      "name": "h",
+      "bounds": [
+        1
+      ],
+      "counts": [
+        1,
+        0
+      ],
+      "count": 1,
+      "sum": 0.5
+    }
+  ]
+}
+`
+	if sb.String() != want {
+		t.Fatalf("json exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets: got %v want %v", got, want)
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 4) },
+		func() { ExpBuckets(1, 1, 4) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid ExpBuckets args did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxSpans bounds a Tracer's retained span list. Spans past the cap are
+// counted (Dropped) but not stored, so a pathological run degrades the
+// trace instead of the process.
+const maxSpans = 65536
+
+// Attr is one integer attribute on a span — cluster counts, edge counts,
+// iteration indices. Spans carry only int64 attributes: every quantity in
+// the paper's cost model is a count, and avoiding interface{} keeps span
+// finish allocation-predictable.
+type Attr struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// Span is one finished timed region.
+type Span struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Tracer collects spans from the build pipeline. A nil *Tracer is the
+// disabled handle: StartSpan returns nil and every method no-ops, so
+// instrumented code carries one tracer pointer and no conditionals.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []Span
+	dropped int64
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// ActiveSpan is an in-flight span created by StartSpan. Methods are
+// nil-safe; End records the span into the tracer.
+type ActiveSpan struct {
+	t    *Tracer
+	span Span
+}
+
+// StartSpan opens a named span stamped with the current time. On a nil
+// tracer it returns nil — a valid ActiveSpan handle whose methods no-op —
+// and performs no allocation and no clock read.
+func (t *Tracer) StartSpan(name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{t: t, span: Span{Name: name, Start: time.Now()}}
+}
+
+// SetInt attaches an integer attribute; chainable. No-op on a nil span.
+func (s *ActiveSpan) SetInt(key string, v int64) *ActiveSpan {
+	if s != nil {
+		s.span.Attrs = append(s.span.Attrs, Attr{Key: key, Val: v})
+	}
+	return s
+}
+
+// End stamps the duration and records the span. No-op on a nil span.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.span.Duration = time.Since(s.span.Start)
+	s.t.Record(s.span)
+}
+
+// Record appends a pre-built span — the bridge used by the facade to mirror
+// progress checkpoints into the trace. No-op on a nil tracer.
+func (t *Tracer) Record(span Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= maxSpans {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, span)
+}
+
+// Spans returns a copy of the recorded spans in record order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Dropped reports how many spans were discarded past the retention cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// SpanSummary aggregates all spans sharing a name.
+type SpanSummary struct {
+	Name  string        `json:"name"`
+	Count int           `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Summary aggregates spans by name, sorted by name.
+func (t *Tracer) Summary() []SpanSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	byName := make(map[string]*SpanSummary)
+	for _, s := range t.spans {
+		agg, ok := byName[s.Name]
+		if !ok {
+			agg = &SpanSummary{Name: s.Name, Min: s.Duration, Max: s.Duration}
+			byName[s.Name] = agg
+		}
+		agg.Count++
+		agg.Total += s.Duration
+		if s.Duration < agg.Min {
+			agg.Min = s.Duration
+		}
+		if s.Duration > agg.Max {
+			agg.Max = s.Duration
+		}
+	}
+	t.mu.Unlock()
+	out := make([]SpanSummary, 0, len(byName))
+	for _, agg := range byName {
+		out = append(out, *agg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteJSON encodes the full span list as indented JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Spans())
+}
+
+// WriteSummary writes the per-name aggregate table as aligned text.
+func (t *Tracer) WriteSummary(w io.Writer) error {
+	for _, s := range t.Summary() {
+		if _, err := fmt.Fprintf(w, "%-28s count=%-6d total=%-12s min=%-12s max=%s\n",
+			s.Name, s.Count, s.Total, s.Min, s.Max); err != nil {
+			return err
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(%d spans dropped past retention cap)\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

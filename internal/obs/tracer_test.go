@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerSpansAndSummary(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 3; i++ {
+		sp := tr.StartSpan("grow")
+		sp.SetInt("iter", int64(i)).SetInt("clusters", int64(100-i))
+		sp.End()
+	}
+	tr.StartSpan("phase2").End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if spans[0].Name != "grow" || len(spans[0].Attrs) != 2 || spans[0].Attrs[0] != (Attr{Key: "iter", Val: 0}) {
+		t.Fatalf("first span malformed: %+v", spans[0])
+	}
+	sum := tr.Summary()
+	if len(sum) != 2 || sum[0].Name != "grow" || sum[0].Count != 3 || sum[1].Name != "phase2" || sum[1].Count != 1 {
+		t.Fatalf("summary malformed: %+v", sum)
+	}
+	if sum[0].Min > sum[0].Max || sum[0].Total < sum[0].Max {
+		t.Fatalf("summary aggregates inconsistent: %+v", sum[0])
+	}
+}
+
+func TestTracerRecordBridge(t *testing.T) {
+	tr := NewTracer()
+	tr.Record(Span{Name: "checkpoint", Start: time.Unix(0, 0), Duration: time.Millisecond,
+		Attrs: []Attr{{Key: "supernodes", Val: 12}}})
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "checkpoint" || spans[0].Attrs[0].Val != 12 {
+		t.Fatalf("recorded span malformed: %+v", spans)
+	}
+}
+
+func TestTracerRetentionCap(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < maxSpans+10; i++ {
+		tr.Record(Span{Name: "s"})
+	}
+	if got := len(tr.Spans()); got != maxSpans {
+		t.Fatalf("retained %d spans, want cap %d", got, maxSpans)
+	}
+	if tr.Dropped() != 10 {
+		t.Fatalf("dropped %d, want 10", tr.Dropped())
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				sp := tr.StartSpan("p")
+				sp.SetInt("j", int64(j))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 8*200 {
+		t.Fatalf("got %d spans, want %d", got, 8*200)
+	}
+}
+
+func TestTracerWriters(t *testing.T) {
+	tr := NewTracer()
+	tr.StartSpan("alpha").End()
+	var js, txt strings.Builder
+	if err := tr.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"alpha"`) {
+		t.Fatalf("json trace missing span name: %s", js.String())
+	}
+	if err := tr.WriteSummary(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "alpha") || !strings.Contains(txt.String(), "count=1") {
+		t.Fatalf("summary text malformed: %s", txt.String())
+	}
+}

@@ -1,0 +1,86 @@
+package oracle
+
+import (
+	"sync"
+	"testing"
+
+	"mpcspanner/internal/obs"
+	"mpcspanner/internal/xrand"
+)
+
+// TestStatsCoherentWithMetrics pins satellite contract of the obs rewiring:
+// Stats() and the registry read the very same atomic counters, so after any
+// concurrent workload they tell one story (run under -race in CI). The
+// resident gauge closes the books: Resident = Misses - Evictions at
+// quiescence.
+func TestStatsCoherentWithMetrics(t *testing.T) {
+	g := testGraph(t, 150, 17)
+	reg := obs.NewRegistry()
+	o := New(g, Options{Shards: 4, MaxRows: 16, Metrics: reg})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.Split(uint64(w), 0x636f6865)
+			for i := 0; i < 40; i++ {
+				o.Query(rng.Intn(g.N()), rng.Intn(g.N()))
+			}
+			o.QueryMany(ZipfWorkload(g.N(), 64, 1.1, uint64(w)+5))
+		}(w)
+	}
+	wg.Wait()
+
+	st := o.Stats()
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("oracle_row_hits_total"); v != st.Hits {
+		t.Fatalf("hits: registry %d, Stats %d", v, st.Hits)
+	}
+	if v, _ := snap.Counter("oracle_row_misses_total"); v != st.Misses {
+		t.Fatalf("misses: registry %d, Stats %d", v, st.Misses)
+	}
+	if v, _ := snap.Counter("oracle_row_evictions_total"); v != st.Evictions {
+		t.Fatalf("evictions: registry %d, Stats %d", v, st.Evictions)
+	}
+	if v, _ := snap.Gauge("oracle_rows_resident"); v != int64(st.Resident) {
+		t.Fatalf("resident: registry %d, Stats %d", v, st.Resident)
+	}
+	if st.Resident != st.Misses-st.Evictions {
+		t.Fatalf("books don't close: resident %d != misses %d - evictions %d",
+			st.Resident, st.Misses, st.Evictions)
+	}
+	// row() times every acquisition that reaches it; QueryMany's resident
+	// fast-pass answers from peek without a row() call, so only the
+	// scheduling-independent lower bound (every miss goes through row) is
+	// stable here.
+	if h := snap.Histogram("oracle_row_seconds"); h == nil || int64(h.Count) < st.Misses {
+		t.Fatalf("oracle_row_seconds count %+v, want at least the %d misses", h, st.Misses)
+	}
+}
+
+// TestInstrumentedWarmPathAllocs is the hot-path guard for the serving
+// layer: with a live registry attached, a warm single query allocates
+// nothing, and a warm QueryMany batch allocates exactly as much as the
+// uninstrumented batch path (its output slice and source grouping) — the
+// instrumentation itself adds zero.
+func TestInstrumentedWarmPathAllocs(t *testing.T) {
+	g := testGraph(t, 100, 23)
+	pairs := []Pair{{U: 3, V: 9}, {U: 3, V: 50}, {U: 7, V: 1}, {U: 7, V: 99}}
+
+	plain := New(g, Options{Workers: 1})
+	instr := New(g, Options{Workers: 1, Metrics: obs.NewRegistry()})
+	for _, o := range []*Oracle{plain, instr} {
+		o.QueryMany(pairs) // warm every source
+	}
+
+	if allocs := testing.AllocsPerRun(20, func() { instr.Query(3, 42) }); allocs > 0 {
+		t.Errorf("instrumented warm Query allocated %.1f objects/op, want 0", allocs)
+	}
+
+	base := testing.AllocsPerRun(20, func() { plain.QueryMany(pairs) })
+	got := testing.AllocsPerRun(20, func() { instr.QueryMany(pairs) })
+	if got > base {
+		t.Errorf("instrumented warm QueryMany allocates %.1f objects/op, uninstrumented %.1f — instrumentation must add zero", got, base)
+	}
+}

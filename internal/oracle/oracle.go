@@ -32,10 +32,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mpcspanner/internal/core"
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/obs"
 	"mpcspanner/internal/par"
 	"mpcspanner/internal/xrand"
 )
@@ -60,6 +62,15 @@ type Options struct {
 	// Workers is the QueryMany fan-out pool size. Zero selects
 	// runtime.NumCPU().
 	Workers int
+
+	// Metrics, when non-nil, exposes the cache counters
+	// (oracle_row_{hits,misses,evictions}_total, oracle_rows_resident) and
+	// enables the latency histograms (oracle_row_seconds,
+	// oracle_row_fill_seconds, oracle_batch_seconds) on the registry. When
+	// nil the counters live in a private registry — Stats() always reads
+	// coherent obs counters — and no latency timing runs, so the
+	// uninstrumented query path reads no clocks.
+	Metrics *obs.Registry
 }
 
 // Stats is a point-in-time snapshot of the cache counters. Hits and Misses
@@ -82,7 +93,17 @@ type Oracle struct {
 	shards  []shard
 	workers int
 
-	hits, misses, evictions atomic.Int64
+	// Cache counters are obs counters (atomic, lock-free) so Stats() and an
+	// attached /metrics endpoint read the same coherent series. resident
+	// tracks insertions minus evictions.
+	hits, misses, evictions *obs.Counter
+	resident                *obs.Gauge
+
+	// Latency histograms are nil unless Options.Metrics was set: the
+	// uninstrumented path performs no clock reads.
+	rowSeconds     *obs.Histogram // per row acquisition through row()
+	rowFillSeconds *obs.Histogram // per cold Dijkstra fill
+	batchSeconds   *obs.Histogram // per QueryMany batch
 }
 
 // entry is one cached row plus its place in the shard's LRU list.
@@ -134,6 +155,21 @@ func New(g *graph.Graph, opt Options) *Oracle {
 		workers = runtime.NumCPU()
 	}
 	o := &Oracle{g: g, shards: make([]shard, nshards), workers: workers}
+	reg := opt.Metrics
+	if reg == nil {
+		// Private registry: Stats() always reads obs counters, instrumented
+		// or not; only the exposition surface and the latency timing differ.
+		reg = obs.NewRegistry()
+	}
+	o.hits = reg.Counter("oracle_row_hits_total")
+	o.misses = reg.Counter("oracle_row_misses_total")
+	o.evictions = reg.Counter("oracle_row_evictions_total")
+	o.resident = reg.Gauge("oracle_rows_resident")
+	if opt.Metrics != nil {
+		o.rowSeconds = reg.Histogram("oracle_row_seconds", obs.LatencyBuckets)
+		o.rowFillSeconds = reg.Histogram("oracle_row_fill_seconds", obs.LatencyBuckets)
+		o.batchSeconds = reg.Histogram("oracle_batch_seconds", obs.LatencyBuckets)
+	}
 	// Distribute the row budget round-robin so the shard capacities sum to
 	// exactly maxRows.
 	for i := range o.shards {
@@ -224,12 +260,26 @@ func (o *Oracle) RowCtx(ctx context.Context, src int) ([]float64, error) {
 	return o.row(ctx, src)
 }
 
-// row acquires the distance row for a validated source. With a nil ctx it
+// row acquires the distance row for a validated source, timing the
+// acquisition when the oracle is instrumented. The split keeps the
+// uninstrumented path clock-free and the instrumented one allocation-free
+// (no deferred closure).
+func (o *Oracle) row(ctx context.Context, src int) ([]float64, error) {
+	if o.rowSeconds == nil {
+		return o.acquireRow(ctx, src)
+	}
+	start := time.Now()
+	row, err := o.acquireRow(ctx, src)
+	o.rowSeconds.Observe(time.Since(start).Seconds())
+	return row, err
+}
+
+// acquireRow is the acquisition path behind row. With a nil ctx it
 // never fails; with a live ctx it checkpoints before starting a fresh
 // computation and while waiting on an in-flight one. Once this goroutine has
 // registered itself as the computing goroutine it always finishes and
 // publishes the row — waiters can never be stranded by a canceled computer.
-func (o *Oracle) row(ctx context.Context, src int) ([]float64, error) {
+func (o *Oracle) acquireRow(ctx context.Context, src int) ([]float64, error) {
 	sh := &o.shards[src%len(o.shards)]
 	sh.mu.Lock()
 	if e, ok := sh.rows[src]; ok {
@@ -265,14 +315,22 @@ func (o *Oracle) row(ctx context.Context, src int) ([]float64, error) {
 	// comes from dist's per-size scratch pool, so a fill costs exactly one
 	// row allocation.
 	o.misses.Add(1)
-	c.row = dist.Dijkstra(o.g, src)
+	if o.rowFillSeconds != nil {
+		fillStart := time.Now()
+		c.row = dist.Dijkstra(o.g, src)
+		o.rowFillSeconds.Observe(time.Since(fillStart).Seconds())
+	} else {
+		c.row = dist.Dijkstra(o.g, src)
+	}
 
 	sh.mu.Lock()
 	delete(sh.inflight, src)
 	sh.insert(&entry{src: src, row: c.row})
+	o.resident.Add(1)
 	for len(sh.rows) > sh.cap {
 		sh.evictOldest()
 		o.evictions.Add(1)
+		o.resident.Add(-1)
 	}
 	sh.mu.Unlock()
 	close(c.done)
@@ -336,8 +394,21 @@ func (o *Oracle) QueryManyCtx(ctx context.Context, pairs []Pair) ([]float64, err
 	return o.queryMany(ctx, pairs)
 }
 
-// queryMany answers a validated batch; ctx may be nil (never fails then).
+// queryMany answers a validated batch, timing it when instrumented; ctx may
+// be nil (never fails then). The timing split mirrors row: no clock reads
+// uninstrumented, no deferred closure instrumented.
 func (o *Oracle) queryMany(ctx context.Context, pairs []Pair) ([]float64, error) {
+	if o.batchSeconds == nil {
+		return o.runBatch(ctx, pairs)
+	}
+	start := time.Now()
+	out, err := o.runBatch(ctx, pairs)
+	o.batchSeconds.Observe(time.Since(start).Seconds())
+	return out, err
+}
+
+// runBatch is the batch path behind queryMany.
+func (o *Oracle) runBatch(ctx context.Context, pairs []Pair) ([]float64, error) {
 	out := make([]float64, len(pairs))
 	// Group pair indices by source, preserving first-seen source order so
 	// the fan-out below is stable.
@@ -451,14 +522,16 @@ func ZipfWorkload(n, q int, exponent float64, seed uint64) []Pair {
 	return pairs
 }
 
-// Stats returns a snapshot of the cache counters. Resident is summed under
-// the shard locks; the other counters are atomic and may lag in-flight
-// operations by design.
+// Stats returns a snapshot of the cache counters — the same obs counters an
+// attached Options.Metrics registry exposes, so Stats() and /metrics never
+// disagree. Resident is additionally cross-checked against the shard maps:
+// it is summed under the shard locks, and at quiescence equals
+// Misses − Evictions (every miss inserts exactly one row).
 func (o *Oracle) Stats() Stats {
 	s := Stats{
-		Hits:      o.hits.Load(),
-		Misses:    o.misses.Load(),
-		Evictions: o.evictions.Load(),
+		Hits:      o.hits.Value(),
+		Misses:    o.misses.Value(),
+		Evictions: o.evictions.Value(),
 	}
 	for i := range o.shards {
 		sh := &o.shards[i]

@@ -1,0 +1,66 @@
+package par
+
+import (
+	"sync/atomic"
+
+	"mpcspanner/internal/obs"
+)
+
+// poolMetrics are the handles the dispatch paths mutate. The struct is
+// published whole through one atomic pointer so the hot path pays a single
+// load (nil ⇒ uninstrumented) instead of four.
+type poolMetrics struct {
+	parallel  *obs.Counter // par_parallel_dispatch_total
+	inline    *obs.Counter // par_inline_dispatch_total
+	workers   *obs.Gauge   // par_pool_workers (high-water resolved pool size)
+	imbalance *obs.Gauge   // par_chunk_imbalance_ppm (high-water static-chunk skew)
+}
+
+var metrics atomic.Pointer[poolMetrics]
+
+// SetMetrics points the package's dispatch instrumentation at r. The hook is
+// process-global — par has no per-call configuration surface, and pool
+// utilization is a process-level property anyway — with last-writer-wins
+// semantics; nil detaches. Callers that may run concurrently with an
+// instrumented build should only call this with a non-nil registry, so an
+// uninstrumented run never silently detaches a live one (the facade follows
+// that rule). Dispatch recording is lock-free and allocation-free, so
+// attaching a registry does not perturb the 0-alloc hot paths.
+func SetMetrics(r *obs.Registry) {
+	if r == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&poolMetrics{
+		parallel:  r.Counter("par_parallel_dispatch_total"),
+		inline:    r.Counter("par_inline_dispatch_total"),
+		workers:   r.Gauge("par_pool_workers"),
+		imbalance: r.Gauge("par_chunk_imbalance_ppm"),
+	})
+}
+
+// recordInline books one dispatch that ran on the calling goroutine (small-n
+// cutoff or a single-worker pool).
+func recordInline() {
+	if pm := metrics.Load(); pm != nil {
+		pm.inline.Inc()
+	}
+}
+
+// recordParallel books one fan-out over `workers` shards of an n-element
+// index space: high-water pool size and high-water chunk imbalance, in parts
+// per million of the mean chunk. Static chunking bounds chunk sizes to
+// ⌈n/W⌉/⌊n/W⌋, so the gauge quantifies how far the tail shard can lag the
+// rest — the utilization question for ROADMAP's machine-load gates.
+func recordParallel(workers, n int) {
+	pm := metrics.Load()
+	if pm == nil {
+		return
+	}
+	pm.parallel.Inc()
+	pm.workers.SetMax(int64(workers))
+	if n > 0 {
+		maxChunk := (n + workers - 1) / workers
+		pm.imbalance.SetMax(int64(maxChunk)*int64(workers)*1e6/int64(n) - 1e6)
+	}
+}

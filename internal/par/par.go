@@ -104,9 +104,11 @@ func ForShard(workers, n int, fn func(shard, lo, hi int)) {
 		workers = n
 	}
 	if workers <= 1 || n < serialCutoff {
+		recordInline()
 		fn(0, 0, n)
 		return
 	}
+	recordParallel(workers, n)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -130,11 +132,13 @@ func ForCoarse(workers, n int, fn func(i int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		recordInline()
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
+	recordParallel(workers, n)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"mpcspanner/internal/cluster"
 	"mpcspanner/internal/core"
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/obs"
 	"mpcspanner/internal/par"
 	"mpcspanner/internal/xrand"
 )
@@ -75,7 +77,46 @@ type engine struct {
 	dedupKey    func(*cluster.QEdge) uint64
 	dedupSorter par.RadixSorter
 
+	// met/tracer carry the run's exposition handles. The zero met struct
+	// holds nil handles whose mutations are no-ops, and a nil tracer's
+	// StartSpan returns an inert nil span, so an uninstrumented run reads no
+	// clocks and allocates nothing extra.
+	met    engMetrics
+	tracer *obs.Tracer
+
 	stats Stats
+}
+
+// engMetrics are the engine's exposition handles: structural levels the
+// paper's lemmas argue about (supernode and alive-edge counts per epoch) and
+// the engine's own activity counters.
+type engMetrics struct {
+	growIters     *obs.Counter   // spanner_grow_iterations_total
+	contractions  *obs.Counter   // spanner_contractions_total
+	supernodes    *obs.Gauge     // spanner_supernodes (level after last contraction)
+	aliveEdges    *obs.Gauge     // spanner_alive_edges (level after last iteration)
+	edgesSelected *obs.Gauge     // spanner_edges_selected (spanner size so far)
+	iterSeconds   *obs.Histogram // spanner_iteration_seconds
+}
+
+// initObs binds the engine's metric handles to cfg.metrics (no-ops when nil)
+// and installs the tracer.
+func (e *engine) initObs() {
+	r := e.cfg.metrics
+	e.tracer = e.cfg.tracer
+	if r == nil {
+		return
+	}
+	e.met = engMetrics{
+		growIters:     r.Counter("spanner_grow_iterations_total"),
+		contractions:  r.Counter("spanner_contractions_total"),
+		supernodes:    r.Gauge("spanner_supernodes"),
+		aliveEdges:    r.Gauge("spanner_alive_edges"),
+		edgesSelected: r.Gauge("spanner_edges_selected"),
+		iterSeconds:   r.Histogram("spanner_iteration_seconds", obs.LatencyBuckets),
+	}
+	e.met.supernodes.Set(int64(e.nSuper))
+	e.met.aliveEdges.Set(int64(e.nAlive))
 }
 
 // initDedupKey builds the keyed-dedup encoding for the engine's graph, if
@@ -131,7 +172,10 @@ func runEngine(ctx context.Context, g *graph.Graph, k, t int, seed uint64, cfg e
 	if err := core.Check(ctx); err != nil {
 		return nil, err
 	}
+	sp := e.tracer.StartSpan("spanner.phase2").SetInt("alive_edges", int64(e.nAlive))
 	e.phase2()
+	sp.SetInt("spanner_edges", int64(len(e.spanIDs))).End()
+	e.met.edgesSelected.Set(int64(len(e.spanIDs)))
 	e.emit("phase2", 0, 0)
 
 	ids := sortedUnique(e.spanIDs)
@@ -291,11 +335,31 @@ func (e *engine) phase1(ctx context.Context) error {
 			e.stats.Probabilities = append(e.stats.Probabilities,
 				math.Pow(n, -math.Pow(float64(e.t+1), float64(spec.Epoch-1))/float64(e.k)))
 		}
+		sp := e.tracer.StartSpan("spanner.grow").
+			SetInt("epoch", int64(spec.Epoch)).SetInt("iter", int64(spec.Iter))
+		var iterStart time.Time
+		if e.met.iterSeconds != nil {
+			iterStart = time.Now()
+		}
 		e.iterate(math.Pow(n, -spec.Exponent), uint64(spec.Epoch), uint64(spec.Iter))
+		if e.met.iterSeconds != nil {
+			e.met.iterSeconds.Observe(time.Since(iterStart).Seconds())
+		}
+		e.met.growIters.Inc()
+		e.met.aliveEdges.Set(int64(e.nAlive))
+		e.met.edgesSelected.Set(int64(len(e.spanIDs)))
+		sp.SetInt("clusters", int64(len(e.active))).
+			SetInt("alive_edges", int64(e.nAlive)).
+			SetInt("spanner_edges", int64(len(e.spanIDs))).End()
 		e.stats.Iterations++
 		e.emit("grow", spec.Epoch, len(schedule))
 		if spec.LastOfEpoch && !e.cfg.classicBS {
+			sc := e.tracer.StartSpan("spanner.step-c").SetInt("epoch", int64(spec.Epoch))
 			e.contract()
+			e.met.contractions.Inc()
+			e.met.supernodes.Set(int64(e.nSuper))
+			sc.SetInt("supernodes", int64(e.nSuper)).
+				SetInt("alive_edges", int64(e.nAlive)).End()
 			e.stats.Epochs++
 			e.emit("contract", spec.Epoch, len(schedule))
 		}
@@ -359,6 +423,7 @@ func (e *engine) planIteration(coin func(center int32) bool) *iterPlan {
 	// its center's *original vertex*, which is stable across execution
 	// planes and contractions; coins are pure functions, so they evaluate in
 	// parallel and assemble in active order.
+	spCoins := e.tracer.StartSpan("spanner.b1-coins").SetInt("clusters", int64(len(e.active)))
 	flags := par.Map(e.workers, len(e.active), func(i int) bool {
 		return coin(e.centerVertex[e.active[i]])
 	})
@@ -371,6 +436,7 @@ func (e *engine) planIteration(coin func(center int32) bool) *iterPlan {
 			plan.sampled = append(plan.sampled, c)
 		}
 	}
+	spCoins.SetInt("sampled", int64(len(plan.sampled))).End()
 	defer func() {
 		for _, c := range e.active {
 			e.sampledFlag[c] = false
@@ -505,6 +571,8 @@ func (e *engine) applyIteration(plan *iterPlan) {
 
 	// Apply removals against the snapshot clustering (the removal map is
 	// read-only inside the sharded sweep).
+	spSweep := e.tracer.StartSpan("spanner.removal-sweep").
+		SetInt("remove_groups", int64(len(plan.removeGroup)))
 	if len(plan.removeGroup) > 0 {
 		e.killEdges(func(ei int) bool {
 			ed := &e.edges[ei]
@@ -515,6 +583,7 @@ func (e *engine) applyIteration(plan *iterPlan) {
 			return ok
 		})
 	}
+	spSweep.SetInt("alive_edges", int64(e.nAlive)).End()
 
 	// Step B5: form D_j — sampled clusters keep their members and absorb the
 	// joining supernodes; everything else dissolves. Serial: recordMerge

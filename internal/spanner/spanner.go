@@ -28,6 +28,7 @@ import (
 	"mpcspanner/internal/cluster"
 	"mpcspanner/internal/core"
 	"mpcspanner/internal/graph"
+	"mpcspanner/internal/obs"
 	"mpcspanner/internal/par"
 	"mpcspanner/internal/xrand"
 )
@@ -62,6 +63,18 @@ type Options struct {
 	// safe for concurrent use when Repetitions > 1 (repetitions run on the
 	// worker pool).
 	Progress func(core.ProgressEvent)
+
+	// Metrics, when non-nil, attaches the engine's structural gauges and
+	// counters (grow iterations, contractions, supernode/alive-edge levels,
+	// per-iteration wall clock). nil runs fully uninstrumented — inert nil
+	// handles, no clock reads — so the construction hot path is unchanged.
+	Metrics *obs.Registry
+
+	// Tracer, when non-nil, records per-phase spans (B1 coins, grow
+	// iterations, removal sweeps, Step C contractions, Phase 2) with
+	// durations and cluster counts. Safe for Repetitions > 1: concurrent
+	// engines append to the same tracer.
+	Tracer *obs.Tracer
 }
 
 func (o Options) reps() int {
@@ -144,6 +157,8 @@ func GeneralCtx(ctx context.Context, g *graph.Graph, k, t int, opt Options) (*Re
 			measureRadius: opt.MeasureRadius,
 			workers:       opt.Workers,
 			progress:      opt.Progress,
+			metrics:       opt.Metrics,
+			tracer:        opt.Tracer,
 		})
 	})
 }
@@ -205,6 +220,8 @@ func BaswanaSenCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Re
 			measureRadius: opt.MeasureRadius,
 			workers:       opt.Workers,
 			progress:      opt.Progress,
+			metrics:       opt.Metrics,
+			tracer:        opt.Tracer,
 		})
 	})
 }
@@ -310,6 +327,11 @@ type engineConfig struct {
 
 	// progress, when non-nil, receives the engine's checkpoint events.
 	progress func(core.ProgressEvent)
+
+	// metrics/tracer, when non-nil, carry the engine's exposition handles
+	// (see Options.Metrics / Options.Tracer).
+	metrics *obs.Registry
+	tracer  *obs.Tracer
 }
 
 // sortedUnique sorts ids and removes duplicates in place.

@@ -190,6 +190,7 @@ func newEngine(g *graph.Graph, k, t int, seed uint64, cfg engineConfig) *engine 
 	e.resetEpochScratch()
 	e.rebuildIncidence()
 	e.resetActive()
+	e.initObs()
 	e.stats = Stats{K: k, T: t}
 	return e
 }

@@ -47,7 +47,8 @@ func Serve(ctx context.Context, g *Graph, opts ...Option) (*Session, error) {
 	if cfg.exact {
 		// Exact mode runs no pipeline, so the pipeline-only options would
 		// be dead weight; reject them like every other foreign option.
-		for _, field := range []string{"Seed", "T", "Gamma", "Progress"} {
+		// WithMetrics stays accepted: it instruments the serving oracle.
+		for _, field := range []string{"Seed", "T", "Gamma", "Progress", "Tracer"} {
 			if cfg.set[field] {
 				return nil, &OptionError{Field: "mpcspanner: " + field, Value: "(set)",
 					Reason: "not accepted together with WithExact (no build runs)"}
@@ -58,10 +59,12 @@ func Serve(ctx context.Context, g *Graph, opts ...Option) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{input: g, served: g}
+	cfg.hookPoolMetrics()
 	if !cfg.exact {
 		res, err := apsp.ApproxCtx(ctx, g, apsp.Options{
 			Seed: cfg.seed, T: cfg.t, Gamma: cfg.gamma,
-			Workers: cfg.workers, Progress: cfg.progress,
+			Workers: cfg.workers, Progress: traceProgress(cfg.tracer, cfg.progress),
+			Metrics: cfg.metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -78,6 +81,7 @@ func Serve(ctx context.Context, g *Graph, opts ...Option) (*Session, error) {
 	}
 	s.oracle = oracle.New(s.served, oracle.Options{
 		Shards: cfg.shards, MaxRows: cfg.maxRows, Workers: cfg.workers,
+		Metrics: cfg.metrics,
 	})
 	return s, nil
 }
