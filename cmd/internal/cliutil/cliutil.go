@@ -72,6 +72,40 @@ func MakeGraph(in, gen string, n int, deg, maxW float64, seed uint64, connectify
 	return g, nil
 }
 
+// GraphConfig holds the shared graph-selection flags (-gen, -in, -n, -deg,
+// -maxw, -seed) after parsing. Register them with GraphFlags; materialize
+// the graph with Make. Keeping the registration in one place is what makes
+// the flag vocabulary identical across cmd/oracle, cmd/oracled serve, and
+// any future driver.
+type GraphConfig struct {
+	Gen  string
+	In   string
+	N    int
+	Deg  float64
+	MaxW float64
+	Seed uint64
+}
+
+// GraphFlags registers the shared graph-selection flags on fs (use
+// flag.CommandLine for single-command drivers, a subcommand's own FlagSet
+// otherwise) and returns the config the parsed values land in.
+func GraphFlags(fs *flag.FlagSet) *GraphConfig {
+	c := &GraphConfig{}
+	fs.StringVar(&c.Gen, "gen", "gnp", "generator: gnp|grid|torus|pa|rgg|cycle")
+	fs.StringVar(&c.In, "in", "", "read graph from file (overrides -gen)")
+	fs.IntVar(&c.N, "n", 10000, "vertices")
+	fs.Float64Var(&c.Deg, "deg", 10, "average degree (gnp) / attachment degree (pa)")
+	fs.Float64Var(&c.MaxW, "maxw", 100, "maximum edge weight (1 = unweighted)")
+	fs.Uint64Var(&c.Seed, "seed", 1, "random seed")
+	return c
+}
+
+// Make materializes the configured graph via MakeGraph. Call after the
+// FlagSet has parsed.
+func (c *GraphConfig) Make(connectify bool) (*graph.Graph, error) {
+	return MakeGraph(c.In, c.Gen, c.N, c.Deg, c.MaxW, c.Seed, connectify)
+}
+
 // MetricsSink wires the shared -metrics flag: every CLI that constructs
 // spanners or serves distances registers it the same way, so one flag
 // vocabulary covers the whole cmd/* family. The zero path means "off" —

@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -154,6 +155,58 @@ func TestLoadFromFileConnectifyUsesFileScale(t *testing.T) {
 func TestLoadMissingFileErrors(t *testing.T) {
 	if _, err := MakeGraph(filepath.Join(t.TempDir(), "absent.txt"), "", 0, 0, 0, 0, false); err == nil {
 		t.Fatal("missing input file accepted")
+	}
+}
+
+func TestGraphFlagsDefaultsAndParse(t *testing.T) {
+	// Defaults: registering on a fresh FlagSet and parsing nothing must give
+	// the documented vocabulary every cmd/* driver shares.
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c := GraphFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Gen != "gnp" || c.In != "" || c.N != 10000 || c.Deg != 10 || c.MaxW != 100 || c.Seed != 1 {
+		t.Fatalf("defaults drifted: %+v", *c)
+	}
+
+	// Parsed values land in the config, and Make materializes them exactly
+	// as the underlying MakeGraph call would.
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	c = GraphFlags(fs)
+	if err := fs.Parse([]string{"-gen", "grid", "-n", "100", "-maxw", "7", "-seed", "12"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Make(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MakeGraph("", "grid", 100, 10, 7, 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != want.N() || got.M() != want.M() || got.TotalWeight() != want.TotalWeight() {
+		t.Fatalf("GraphConfig.Make diverged from MakeGraph: n=%d m=%d w=%v vs n=%d m=%d w=%v",
+			got.N(), got.M(), got.TotalWeight(), want.N(), want.M(), want.TotalWeight())
+	}
+
+	// The flag vocabulary itself is part of the contract: two drivers that
+	// both call GraphFlags must expose identical flag names.
+	for _, name := range []string{"gen", "in", "n", "deg", "maxw", "seed"} {
+		if fs.Lookup(name) == nil {
+			t.Fatalf("GraphFlags did not register -%s", name)
+		}
+	}
+}
+
+func TestGraphFlagsMakePropagatesErrors(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c := GraphFlags(fs)
+	if err := fs.Parse([]string{"-gen", "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Make(false); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("Make must surface the unknown-generator error, got %v", err)
 	}
 }
 

@@ -38,14 +38,9 @@ import (
 )
 
 func main() {
-	gen := flag.String("gen", "gnp", "generator: gnp|grid|torus|pa|rgg|cycle")
-	in := flag.String("in", "", "read graph from file (overrides -gen)")
-	n := flag.Int("n", 10000, "vertices")
-	deg := flag.Float64("deg", 10, "average degree (gnp) / attachment degree (pa)")
-	maxW := flag.Float64("maxw", 100, "maximum edge weight (1 = unweighted)")
+	gc := cliutil.GraphFlags(flag.CommandLine)
 	k := flag.Int("k", 0, "spanner stretch parameter (0 = Corollary 1.4's ⌈log₂ n⌉)")
 	t := flag.Int("t", 0, "epoch length (0 = default)")
-	seed := flag.Uint64("seed", 1, "random seed")
 	exact := flag.Bool("exact", false, "serve exact distances on the input graph (skip the spanner)")
 	pairs := flag.String("pairs", "-", "pairs file, '-' = stdin (ignored with -synth)")
 	synth := flag.Int("synth", 0, "generate this many Zipf-source queries instead of reading pairs")
@@ -82,7 +77,7 @@ func main() {
 	// Bridge disconnected inputs so every served distance is finite — except
 	// in -exact mode, where the input graph must be served untouched and
 	// cross-component queries correctly answer +Inf.
-	g, err := cliutil.MakeGraph(*in, *gen, *n, *deg, *maxW, *seed, !*exact)
+	g, err := gc.Make(!*exact)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +94,7 @@ func main() {
 		if g.N() == 0 {
 			log.Fatal("cannot synthesize queries on an empty graph")
 		}
-		queries = oracle.ZipfWorkload(g.N(), *synth, *zipf, *seed)
+		queries = oracle.ZipfWorkload(g.N(), *synth, *zipf, gc.Seed)
 	} else if queries, err = readPairs(*pairs, g.N()); err != nil {
 		log.Fatal(err)
 	}
@@ -120,7 +115,7 @@ func main() {
 		// on /metrics describe.
 		res, err := mpcspanner.Build(ctx, g,
 			mpcspanner.WithAlgorithm(mpcspanner.AlgoMPC),
-			mpcspanner.WithK(kk), mpcspanner.WithT(tt), mpcspanner.WithSeed(*seed),
+			mpcspanner.WithK(kk), mpcspanner.WithT(tt), mpcspanner.WithSeed(gc.Seed),
 			mpcspanner.WithMetrics(reg))
 		if err != nil {
 			if errors.Is(err, mpcspanner.ErrCanceled) {

@@ -188,6 +188,14 @@ func (g *Gauge) Add(n int64) {
 	}
 }
 
+// Inc moves the gauge up by one — the enter half of occupancy gauges
+// (in-flight requests, queue depth). No-op on a nil handle.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec moves the gauge down by one — the leave half of occupancy gauges.
+// No-op on a nil handle.
+func (g *Gauge) Dec() { g.Add(-1) }
+
 // SetMax raises the gauge to v if v exceeds the current value — the
 // watermark operation behind peak-load gauges. No-op on a nil handle.
 func (g *Gauge) SetMax(v int64) {

@@ -59,6 +59,72 @@ func TestStatsCoherentWithMetrics(t *testing.T) {
 	}
 }
 
+// TestQueueWaitAccounting pins the PR 7 serving-daemon contract: when two
+// goroutines race on the same cold source, the loser's singleflight wait is
+// accounted in oracle_queue_wait_seconds — the internal queue-delay series a
+// daemon sizes its admission ceiling against. Uninstrumented oracles must
+// not register the series at all (the wait path stays clock-free).
+func TestQueueWaitAccounting(t *testing.T) {
+	g := testGraph(t, 200, 29)
+	reg := obs.NewRegistry()
+	o := New(g, Options{Shards: 1, MaxRows: 8, Metrics: reg})
+
+	const racers = 8
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			o.Query(5, 17) // same cold source: one computes, the rest wait
+		}()
+	}
+	start.Done()
+	wg.Wait()
+
+	h := reg.Snapshot().Histogram("oracle_queue_wait_seconds")
+	if h == nil {
+		t.Fatal("oracle_queue_wait_seconds not registered on an instrumented oracle")
+	}
+	st := o.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("singleflight broken: %d misses for one source, want 1", st.Misses)
+	}
+	// Every racer that found the fill in flight waited; racers that arrived
+	// after publication hit the resident row without queuing. Both schedules
+	// are legal, so only the ceiling is stable.
+	if h.Count > racers-1 {
+		t.Fatalf("queue waits %d observed, at most %d racers can wait", h.Count, racers-1)
+	}
+
+	plain := New(g, Options{MaxRows: 8})
+	plain.Query(5, 17)
+	if plain.queueWaitSeconds != nil {
+		t.Fatal("uninstrumented oracle must keep the queue-wait path clock-free")
+	}
+}
+
+// TestMaxRows pins the budget a serving daemon derives its admission ceiling
+// from: MaxRows reports the effective post-default, post-clamp budget, and
+// the shard capacities sum to exactly it.
+func TestMaxRows(t *testing.T) {
+	g := testGraph(t, 50, 31)
+	for _, tc := range []struct {
+		opt  Options
+		want int
+	}{
+		{Options{MaxRows: 37, Shards: 4}, 37},
+		{Options{MaxRows: -9}, 1}, // clamped
+		{Options{}, 1024},         // default
+		{Options{MaxRows: 3, Shards: 16}, 3},
+	} {
+		if got := New(g, tc.opt).MaxRows(); got != tc.want {
+			t.Errorf("MaxRows with %+v = %d, want %d", tc.opt, got, tc.want)
+		}
+	}
+}
+
 // TestInstrumentedWarmPathAllocs is the hot-path guard for the serving
 // layer: with a live registry attached, a warm single query allocates
 // nothing, and a warm QueryMany batch allocates exactly as much as the

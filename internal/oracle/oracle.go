@@ -101,9 +101,10 @@ type Oracle struct {
 
 	// Latency histograms are nil unless Options.Metrics was set: the
 	// uninstrumented path performs no clock reads.
-	rowSeconds     *obs.Histogram // per row acquisition through row()
-	rowFillSeconds *obs.Histogram // per cold Dijkstra fill
-	batchSeconds   *obs.Histogram // per QueryMany batch
+	rowSeconds       *obs.Histogram // per row acquisition through row()
+	rowFillSeconds   *obs.Histogram // per cold Dijkstra fill
+	batchSeconds     *obs.Histogram // per QueryMany batch
+	queueWaitSeconds *obs.Histogram // per wait on another goroutine's in-flight fill
 }
 
 // entry is one cached row plus its place in the shard's LRU list.
@@ -169,6 +170,7 @@ func New(g *graph.Graph, opt Options) *Oracle {
 		o.rowSeconds = reg.Histogram("oracle_row_seconds", obs.LatencyBuckets)
 		o.rowFillSeconds = reg.Histogram("oracle_row_fill_seconds", obs.LatencyBuckets)
 		o.batchSeconds = reg.Histogram("oracle_batch_seconds", obs.LatencyBuckets)
+		o.queueWaitSeconds = reg.Histogram("oracle_queue_wait_seconds", obs.LatencyBuckets)
 	}
 	// Distribute the row budget round-robin so the shard capacities sum to
 	// exactly maxRows.
@@ -184,6 +186,18 @@ func New(g *graph.Graph, opt Options) *Oracle {
 
 // Graph returns the graph the oracle serves distances on.
 func (o *Oracle) Graph() *graph.Graph { return o.g }
+
+// MaxRows returns the effective cache budget in resident rows — the
+// Options.MaxRows value after defaulting and clamping, summed across the
+// shards. Serving daemons derive their admission-control in-flight ceiling
+// from it, so overload degrades before the LRU starts thrashing.
+func (o *Oracle) MaxRows() int {
+	total := 0
+	for i := range o.shards {
+		total += o.shards[i].cap
+	}
+	return total
+}
 
 // checkVertex panics — in the caller's goroutine, before any cache state is
 // touched — when v is not a vertex of the served graph. Validating at the
@@ -290,14 +304,29 @@ func (o *Oracle) acquireRow(ctx context.Context, src int) ([]float64, error) {
 	}
 	if c, ok := sh.inflight[src]; ok {
 		sh.mu.Unlock()
+		// Queue-wait accounting: the time this goroutine blocks on another
+		// goroutine's fill is the oracle's internal queue delay — the series a
+		// serving daemon watches to size its admission ceiling. Timed only
+		// when instrumented, and charged whether the wait completes or is
+		// canceled (a canceled waiter queued all the same).
+		var waitStart time.Time
+		if o.queueWaitSeconds != nil {
+			waitStart = time.Now()
+		}
 		if ctx != nil {
 			select {
 			case <-c.done: // another goroutine computed this row; share it
 			case <-ctx.Done():
+				if o.queueWaitSeconds != nil {
+					o.queueWaitSeconds.Observe(time.Since(waitStart).Seconds())
+				}
 				return nil, core.Canceled(ctx.Err())
 			}
 		} else {
 			<-c.done
+		}
+		if o.queueWaitSeconds != nil {
+			o.queueWaitSeconds.Observe(time.Since(waitStart).Seconds())
 		}
 		o.hits.Add(1)
 		return c.row, nil

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpcspanner/internal/oracle"
+)
+
+// Client speaks the oracled wire protocol: batched /v1/query posts with
+// exact float64 round-tripping, typed *APIError on non-2xx, and the Zipf
+// load generator the `oracled load` subcommand and the CI smoke job run.
+type Client struct {
+	// BaseURL is the replica (or proxy) root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the transport; nil selects http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for baseURL with the default transport.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx daemon response: the HTTP status, the typed error
+// body, and the parsed Retry-After backoff for 429s (zero otherwise).
+type APIError struct {
+	Status     int
+	Code       string
+	Field      string
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("oracled: %d %s: %s %s", e.Status, e.Code, e.Field, e.Reason)
+}
+
+// Shed reports whether the daemon shed this request under overload (429) —
+// the one error class a load generator retries rather than fails on.
+func (e *APIError) Shed() bool { return e.Status == http.StatusTooManyRequests }
+
+// Info fetches /v1/info.
+func (c *Client) Info(ctx context.Context) (Info, error) {
+	var info Info
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/info", nil)
+	if err != nil {
+		return info, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, apiError(resp)
+	}
+	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+// Query posts one batch: out[i] answers pairs[i] (+Inf when unreachable),
+// decoded bit-identically to what the daemon's backend computed. timeout is
+// the per-request deadline shipped as timeout_ms (0 = none). Non-2xx
+// responses return a *APIError.
+func (c *Client) Query(ctx context.Context, pairs []oracle.Pair, timeout time.Duration) ([]float64, error) {
+	req := queryRequest{Pairs: make([]queryPair, len(pairs)), TimeoutMS: timeout.Milliseconds()}
+	for i, p := range pairs {
+		req.Pairs[i] = queryPair{U: p.U, V: p.V}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return nil, err
+	}
+	if len(qr.Distances) != len(pairs) {
+		return nil, fmt.Errorf("oracled: %d distances for %d pairs", len(qr.Distances), len(pairs))
+	}
+	out := make([]float64, len(qr.Distances))
+	for i, d := range qr.Distances {
+		out[i] = float64(d)
+	}
+	return out, nil
+}
+
+// apiError decodes a non-2xx response into *APIError, tolerating bodies that
+// are not the typed JSON (proxies inject their own error pages).
+func apiError(resp *http.Response) error {
+	e := &APIError{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var body errorBody
+	if json.Unmarshal(raw, &body) == nil && body.Error.Code != "" {
+		e.Code, e.Field, e.Reason = body.Error.Code, body.Error.Field, body.Error.Reason
+	} else {
+		e.Code = "http_error"
+		e.Reason = string(bytes.TrimSpace(raw))
+	}
+	return e
+}
+
+// LoadOptions configures RunLoad.
+type LoadOptions struct {
+	// Pairs is the full trace to fire, e.g. oracle.ZipfWorkload(...).
+	Pairs []oracle.Pair
+	// Batch is the pairs per request; <= 0 selects 512.
+	Batch int
+	// Concurrency is the number of in-flight requests the generator keeps;
+	// <= 0 selects 8.
+	Concurrency int
+	// Timeout is each request's timeout_ms budget (0 = none).
+	Timeout time.Duration
+}
+
+// LoadReport summarizes one load run. Shed batches (429) are counted, not
+// failed: shedding under overload is the daemon behaving as designed.
+type LoadReport struct {
+	Batches   int           // requests sent
+	OK        int           // 200s
+	Shed      int           // 429s
+	Failed    int           // transport errors and non-429 non-200s
+	PairsOK   int           // pairs answered by the 200s
+	Elapsed   time.Duration // wall clock of the whole run
+	Latencies []time.Duration
+}
+
+// Quantile returns the q-quantile of the per-request latencies (0 when no
+// request completed). Latencies are sorted in place on first use.
+func (r *LoadReport) Quantile(q float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	sort.Slice(r.Latencies, func(i, j int) bool { return r.Latencies[i] < r.Latencies[j] })
+	i := int(q * float64(len(r.Latencies)-1))
+	return r.Latencies[i]
+}
+
+// RunLoad fires o.Pairs at the daemon in batches over a fixed-size worker
+// pool and reports what came back. Workers claim batches through an atomic
+// cursor, so the set of requests is the same at any concurrency — only the
+// interleaving varies. A done ctx stops the run at the next batch boundary.
+func (c *Client) RunLoad(ctx context.Context, o LoadOptions) LoadReport {
+	batch := o.Batch
+	if batch <= 0 {
+		batch = 512
+	}
+	workers := o.Concurrency
+	if workers <= 0 {
+		workers = 8
+	}
+	nBatches := (len(o.Pairs) + batch - 1) / batch
+	if workers > nBatches {
+		workers = nBatches
+	}
+
+	var (
+		mu     sync.Mutex
+		report LoadReport
+		next   atomic.Int64
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				j := int(next.Add(1)) - 1
+				if j >= nBatches {
+					return
+				}
+				lo, hi := j*batch, (j+1)*batch
+				if hi > len(o.Pairs) {
+					hi = len(o.Pairs)
+				}
+				reqStart := time.Now()
+				dists, err := c.Query(ctx, o.Pairs[lo:hi], o.Timeout)
+				lat := time.Since(reqStart)
+
+				mu.Lock()
+				report.Batches++
+				report.Latencies = append(report.Latencies, lat)
+				switch e := (*APIError)(nil); {
+				case err == nil:
+					report.OK++
+					report.PairsOK += len(dists)
+				case asAPIError(err, &e) && e.Shed():
+					report.Shed++
+				default:
+					report.Failed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	return report
+}
+
+// asAPIError is errors.As without the reflective allocation in the hot loop.
+func asAPIError(err error, target **APIError) bool {
+	e, ok := err.(*APIError)
+	if ok {
+		*target = e
+	}
+	return ok
+}

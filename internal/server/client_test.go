@@ -1,0 +1,91 @@
+package server_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mpcspanner/internal/obs"
+	"mpcspanner/internal/oracle"
+	"mpcspanner/internal/server"
+)
+
+// TestRunLoadCoversTrace pins the load generator the CI smoke job drives:
+// every batch of the trace is fired exactly once whatever the concurrency,
+// every pair is answered, and a healthy daemon sheds nothing.
+func TestRunLoadCoversTrace(t *testing.T) {
+	g := testGraph(t, 12, 23)
+	reg := obs.NewRegistry()
+	session := exactSession(t, g, reg, 0)
+	ts := httptest.NewServer(server.New(server.Config{
+		Backend: session, Graph: g, Metrics: reg,
+	}).Handler())
+	defer ts.Close()
+	c := server.NewClient(ts.URL)
+
+	info, err := c.Info(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := oracle.ZipfWorkload(info.N, 1000, 1.2, 31)
+
+	for _, conc := range []int{1, 4} {
+		report := c.RunLoad(context.Background(), server.LoadOptions{
+			Pairs: pairs, Batch: 64, Concurrency: conc, Timeout: 10 * time.Second,
+		})
+		wantBatches := (len(pairs) + 63) / 64
+		if report.Batches != wantBatches || report.OK != wantBatches {
+			t.Fatalf("concurrency %d: %d batches / %d ok, want %d / %d",
+				conc, report.Batches, report.OK, wantBatches, wantBatches)
+		}
+		if report.PairsOK != len(pairs) {
+			t.Fatalf("concurrency %d: %d pairs answered, want %d", conc, report.PairsOK, len(pairs))
+		}
+		if report.Shed != 0 || report.Failed != 0 {
+			t.Fatalf("concurrency %d: shed=%d failed=%d on a healthy daemon", conc, report.Shed, report.Failed)
+		}
+		if report.Quantile(0.5) <= 0 {
+			t.Fatalf("concurrency %d: p50 latency must be positive", conc)
+		}
+	}
+}
+
+// TestRunLoadCountsShedding pins the report taxonomy under overload: shed
+// batches are counted as shed, not failed, so a smoke run under deliberate
+// overload still exits zero.
+func TestRunLoadCountsShedding(t *testing.T) {
+	g := testGraph(t, 8, 29)
+	session := exactSession(t, g, nil, 1)
+	gate := &gatedBackend{inner: session, release: make(chan struct{})}
+	srv := server.New(server.Config{
+		Backend: gate, Graph: g, MaxInflight: 1, QueueWait: 10 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// With the gate closed and one slot, at most one batch is admitted (and
+	// parked); everything else sheds. Release the gate afterwards so the
+	// parked batch finishes and the pool drains.
+	pairs := oracle.ZipfWorkload(g.N(), 256, 1.2, 37)
+	done := make(chan server.LoadReport, 1)
+	go func() {
+		done <- server.NewClient(ts.URL).RunLoad(context.Background(), server.LoadOptions{
+			Pairs: pairs, Batch: 32, Concurrency: 4,
+		})
+	}()
+	waitFor(t, 2*time.Second, func() bool { return scrapeSeries(t, ts.URL, "server_shed_total") >= 1 })
+	close(gate.release)
+	report := <-done
+
+	if report.Failed != 0 {
+		t.Fatalf("failed=%d; 429s must count as shed, not failures", report.Failed)
+	}
+	if report.Shed == 0 {
+		t.Fatal("no batch shed under deliberate overload")
+	}
+	if report.OK+report.Shed != report.Batches {
+		t.Fatalf("report books don't close: ok=%d shed=%d batches=%d",
+			report.OK, report.Shed, report.Batches)
+	}
+}

@@ -1,0 +1,94 @@
+package server_test
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mpcspanner"
+	"mpcspanner/internal/oracle"
+	"mpcspanner/internal/server"
+)
+
+// TestWireBitIdentity extends the PR 3 / PR 5 bit-identity contract across
+// the wire: for the same seed, a daemon replica answers a recorded Zipf
+// trace bit-identically to an in-process Session.QueryMany — at every
+// worker count, through the full §7 pipeline (spanner build + cached
+// serving), and batched arbitrarily. This is what makes N replicas behind a
+// round-robin proxy one consistent service: any replica, any batching, same
+// bits.
+func TestWireBitIdentity(t *testing.T) {
+	const (
+		n    = 256
+		seed = 5
+	)
+	g := testGraph(t, 16, 21) // 16x16 grid, n = 256
+	trace := oracle.ZipfWorkload(n, 2000, 1.2, 9)
+	ctx := context.Background()
+
+	// Reference answers: one in-process pipeline session per worker count.
+	var ref [][]float64
+	for _, workers := range []int{1, 3, 0} {
+		sess, err := mpcspanner.Serve(ctx, g,
+			mpcspanner.WithSeed(seed), mpcspanner.WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("in-process Serve(workers=%d): %v", workers, err)
+		}
+		dists, err := sess.QueryMany(ctx, trace)
+		if err != nil {
+			t.Fatalf("in-process QueryMany(workers=%d): %v", workers, err)
+		}
+		ref = append(ref, dists)
+	}
+	// The in-process contract first (pinned elsewhere, cheap to re-assert):
+	// worker count never changes a bit.
+	for w := 1; w < len(ref); w++ {
+		for i := range ref[0] {
+			if math.Float64bits(ref[0][i]) != math.Float64bits(ref[w][i]) {
+				t.Fatalf("in-process bit-identity broken at pair %d between worker configs", i)
+			}
+		}
+	}
+
+	// Wire answers: a fresh daemon replica per worker count, same seed,
+	// same trace replayed in uneven batches.
+	for wi, workers := range []int{1, 3, 0} {
+		sess, err := mpcspanner.Serve(ctx, g,
+			mpcspanner.WithSeed(seed), mpcspanner.WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("daemon Serve(workers=%d): %v", workers, err)
+		}
+		ts := httptest.NewServer(server.New(server.Config{
+			Backend: sess, Graph: sess.Served(),
+		}).Handler())
+		c := server.NewClient(ts.URL)
+
+		var got []float64
+		const batch = 257 // deliberately not a divisor of the trace length
+		for lo := 0; lo < len(trace); lo += batch {
+			hi := lo + batch
+			if hi > len(trace) {
+				hi = len(trace)
+			}
+			part, err := c.Query(ctx, trace[lo:hi], 30*time.Second)
+			if err != nil {
+				t.Fatalf("wire Query(workers=%d, batch at %d): %v", workers, lo, err)
+			}
+			got = append(got, part...)
+		}
+		ts.Close()
+
+		if len(got) != len(ref[wi]) {
+			t.Fatalf("workers=%d: %d wire answers for %d queries", workers, len(got), len(ref[wi]))
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[wi][i]) {
+				t.Fatalf("workers=%d pair %d (%d,%d): wire %v (bits %x) != in-process %v (bits %x)",
+					workers, i, trace[i].U, trace[i].V,
+					got[i], math.Float64bits(got[i]), ref[wi][i], math.Float64bits(ref[wi][i]))
+			}
+		}
+	}
+}

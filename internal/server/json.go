@@ -1,0 +1,81 @@
+package server
+
+import (
+	"math"
+	"strconv"
+)
+
+// queryRequest is the POST /v1/query body:
+//
+//	{"pairs": [{"u": 0, "v": 99}, ...], "timeout_ms": 500}
+//
+// timeout_ms is optional; 0 (or absent) means no per-request deadline beyond
+// the server's MaxTimeout ceiling, negative is rejected as an invalid option.
+type queryRequest struct {
+	Pairs     []queryPair `json:"pairs"`
+	TimeoutMS int64       `json:"timeout_ms"`
+}
+
+// queryPair is one (source, target) query on the wire.
+type queryPair struct {
+	U int `json:"u"`
+	V int `json:"v"`
+}
+
+// queryResponse is the 200 body: distances[i] answers pairs[i], null meaning
+// unreachable (+Inf does not exist in JSON).
+type queryResponse struct {
+	Distances []jsonFloat `json:"distances"`
+}
+
+// Info is the GET /v1/info body.
+type Info struct {
+	N           int `json:"n"`
+	M           int `json:"m"`
+	MaxInflight int `json:"max_inflight"`
+	MaxPairs    int `json:"max_pairs"`
+}
+
+// errorBody wraps every non-2xx response.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+// errorDetail is the typed error clients classify on: Code is the stable
+// vocabulary ("invalid_option", "deadline_exceeded", "canceled", "shed",
+// "draining", "bad_request", "method_not_allowed", "internal"); Field and
+// Reason carry the *core.OptionError structure when Code is
+// "invalid_option".
+type errorDetail struct {
+	Code   string `json:"code"`
+	Field  string `json:"field,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// jsonFloat encodes a distance exactly: the shortest decimal that parses
+// back to the identical float64 bit pattern (strconv 'g' with precision -1),
+// with +Inf — unreachable — as JSON null. This is what makes the wire
+// bit-identity contract (daemon responses == in-process QueryMany) testable:
+// encode→decode is lossless.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, +1) {
+		return []byte("null"), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = jsonFloat(math.Inf(+1))
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}

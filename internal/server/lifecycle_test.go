@@ -1,0 +1,132 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mpcspanner/internal/obs"
+	"mpcspanner/internal/oracle"
+	"mpcspanner/internal/server"
+)
+
+// TestGracefulDrain pins the daemon lifecycle: canceling Run's context (the
+// SIGTERM path — cmd/oracled wires signal.NotifyContext straight into it)
+// drains in-flight requests to completion, rejects new ones, returns
+// cleanly, and leaks no goroutines.
+func TestGracefulDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	g := testGraph(t, 10, 19)
+	reg := obs.NewRegistry()
+	session := exactSession(t, g, reg, 2)
+	gate := &gatedBackend{inner: session, release: make(chan struct{})}
+	srv := server.New(server.Config{Backend: gate, Graph: g, Metrics: reg, MaxInflight: 4})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseURL := "http://" + l.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- srv.Run(ctx, l, 10*time.Second) }()
+
+	// A dedicated client whose idle connections we can close before the
+	// leak assertion.
+	httpc := &http.Client{Transport: &http.Transport{}}
+	c := &server.Client{BaseURL: baseURL, HTTP: httpc}
+
+	// Readiness, then park one request in flight behind the gate.
+	waitFor(t, 2*time.Second, func() bool {
+		resp, err := httpc.Get(baseURL + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+	inflightPairs := []oracle.Pair{{U: 4, V: 77}}
+	inflightDone := make(chan error, 1)
+	inflightDists := make(chan []float64, 1)
+	go func() {
+		dists, err := c.Query(context.Background(), inflightPairs, 0)
+		inflightDists <- dists
+		inflightDone <- err
+	}()
+	waitFor(t, 2*time.Second, func() bool { return scrapeSeries(t, baseURL, "server_inflight") == 1 })
+
+	// SIGTERM. The listener closes and the replica flips to draining; the
+	// parked request must stay untouched.
+	cancel()
+	waitFor(t, 2*time.Second, func() bool { return srv.Draining() })
+
+	// New work is rejected: either the connection is refused (listener
+	// closed) or a surviving keep-alive connection gets the retryable 503.
+	_, err = c.Query(context.Background(), []oracle.Pair{{U: 0, V: 1}}, 0)
+	if err == nil {
+		t.Fatal("new request during drain must be rejected")
+	}
+	var ae *server.APIError
+	if errors.As(err, &ae) {
+		if ae.Status != http.StatusServiceUnavailable || ae.Code != "draining" {
+			t.Fatalf("drain rejection: status %d code %q, want 503/draining", ae.Status, ae.Code)
+		}
+	} else if !isConnErr(err) {
+		t.Fatalf("drain rejection: %v, want 503/draining or a closed-listener dial error", err)
+	}
+
+	select {
+	case err := <-runDone:
+		t.Fatalf("Run returned %v while a request was still in flight — drain must wait", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Release the gate: the in-flight request completes correctly and Run
+	// exits clean.
+	close(gate.release)
+	if err := <-inflightDone; err != nil {
+		t.Fatalf("in-flight request during drain: %v", err)
+	}
+	want, _ := session.QueryMany(context.Background(), inflightPairs)
+	if got := <-inflightDists; math.Float64bits(got[0]) != math.Float64bits(want[0]) {
+		t.Fatalf("drained answer %v != %v", got[0], want[0])
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("Run after drain: %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after the last in-flight request finished")
+	}
+
+	// Goroutine-leak assertion (the PR 5 cancellation-test pattern): once
+	// the client's idle connections are gone, the process settles back to
+	// its pre-daemon goroutine count.
+	httpc.CloseIdleConnections()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before+2 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutines leaked across the daemon lifecycle: %d before, %d after", before, n)
+	}
+}
+
+// isConnErr reports whether err looks like a dial against a closed listener.
+func isConnErr(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	s := err.Error()
+	return strings.Contains(s, "connection refused") || strings.Contains(s, "EOF") ||
+		strings.Contains(s, "connection reset")
+}

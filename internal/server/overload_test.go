@@ -1,0 +1,204 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"mpcspanner/internal/core"
+	"mpcspanner/internal/obs"
+	"mpcspanner/internal/oracle"
+	"mpcspanner/internal/server"
+)
+
+// gatedBackend blocks every call until release is closed, honoring ctx like
+// the real library layers do. It lets the overload tests hold requests
+// in-flight deterministically instead of racing against wall-clock.
+type gatedBackend struct {
+	inner   server.Backend
+	release chan struct{}
+}
+
+func (b *gatedBackend) QueryMany(ctx context.Context, pairs []oracle.Pair) ([]float64, error) {
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return nil, core.Canceled(ctx.Err())
+	}
+	return b.inner.QueryMany(ctx, pairs)
+}
+
+// scrapeSeries fetches /metrics and returns the named single-value series.
+func scrapeSeries(t *testing.T, url, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	m := regexp.MustCompile(`(?m)^` + name + ` (-?\d+)$`).FindSubmatch(raw)
+	if m == nil {
+		t.Fatalf("/metrics has no series %s:\n%s", name, raw)
+	}
+	v, _ := strconv.ParseInt(string(m[1]), 10, 64)
+	return v
+}
+
+// TestOverloadSheds pins the load-shedding contract: a burst past the
+// in-flight ceiling yields 429 + Retry-After for every excess request —
+// never a 5xx and never a hang — the shed counter moves on /metrics, and
+// the responses that are served during shedding stay correct.
+func TestOverloadSheds(t *testing.T) {
+	g := testGraph(t, 10, 13)
+	reg := obs.NewRegistry()
+	session := exactSession(t, g, reg, 2)
+	gate := &gatedBackend{inner: session, release: make(chan struct{})}
+	srv := server.New(server.Config{
+		Backend: gate, Graph: g, Metrics: reg,
+		MaxInflight: 1, QueueWait: 40 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := server.NewClient(ts.URL)
+	ctx := context.Background()
+	holdPairs := []oracle.Pair{{U: 1, V: 42}, {U: 3, V: 0}}
+
+	// Occupy the single slot with a gated request.
+	holdDone := make(chan error, 1)
+	holdDists := make(chan []float64, 1)
+	go func() {
+		dists, err := c.Query(ctx, holdPairs, 0)
+		holdDists <- dists
+		holdDone <- err
+	}()
+	waitFor(t, time.Second, func() bool { return scrapeSeries(t, ts.URL, "server_inflight") == 1 })
+
+	// Burst: every one of these must shed within the queue-wait ceiling.
+	const burst = 6
+	var wg sync.WaitGroup
+	errs := make([]error, burst)
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Query(ctx, []oracle.Pair{{U: 0, V: 1}}, 0)
+		}(i)
+	}
+	wg.Wait()
+	burstElapsed := time.Since(start)
+
+	for i, err := range errs {
+		var ae *server.APIError
+		if !errors.As(err, &ae) {
+			t.Fatalf("burst %d: %v, want *APIError", i, err)
+		}
+		if !ae.Shed() || ae.Code != "shed" {
+			t.Fatalf("burst %d: status %d code %q, want 429/shed", i, ae.Status, ae.Code)
+		}
+		if ae.RetryAfter < time.Second {
+			t.Fatalf("burst %d: Retry-After %v, want >= 1s", i, ae.RetryAfter)
+		}
+	}
+	if burstElapsed > 5*time.Second {
+		t.Fatalf("shedding took %v; overload must be answered promptly", burstElapsed)
+	}
+	if shed := scrapeSeries(t, ts.URL, "server_shed_total"); shed != burst {
+		t.Fatalf("server_shed_total = %d, want %d", shed, burst)
+	}
+
+	// The admitted request is untouched by the shedding around it: release
+	// the gate and verify its answer against the in-process session.
+	close(gate.release)
+	if err := <-holdDone; err != nil {
+		t.Fatalf("held request failed: %v", err)
+	}
+	want, err := session.QueryMany(ctx, holdPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := <-holdDists
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("held request answer %d: %v != %v — shedding corrupted a served response", i, got[i], want[i])
+		}
+	}
+	if inflight := scrapeSeries(t, ts.URL, "server_inflight"); inflight != 0 {
+		t.Fatalf("server_inflight = %d after drain, want 0", inflight)
+	}
+}
+
+// TestQueueDepthGaugeMoves pins the queue instrumentation: a request waiting
+// for a slot is visible as server_queue_depth on /metrics while it waits,
+// and admitted (200, correct answer) once the slot frees within its
+// queue-wait budget — queueing is not shedding.
+func TestQueueDepthGaugeMoves(t *testing.T) {
+	g := testGraph(t, 10, 17)
+	reg := obs.NewRegistry()
+	session := exactSession(t, g, reg, 2)
+	gate := &gatedBackend{inner: session, release: make(chan struct{})}
+	srv := server.New(server.Config{
+		Backend: gate, Graph: g, Metrics: reg,
+		MaxInflight: 1, QueueWait: 10 * time.Second, // queue, don't shed
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := server.NewClient(ts.URL)
+	ctx := context.Background()
+
+	holdDone := make(chan error, 1)
+	go func() { _, err := c.Query(ctx, []oracle.Pair{{U: 0, V: 5}}, 0); holdDone <- err }()
+	waitFor(t, time.Second, func() bool { return scrapeSeries(t, ts.URL, "server_inflight") == 1 })
+
+	queuedPairs := []oracle.Pair{{U: 2, V: 7}}
+	queuedDone := make(chan error, 1)
+	queuedDists := make(chan []float64, 1)
+	go func() {
+		dists, err := c.Query(ctx, queuedPairs, 0)
+		queuedDists <- dists
+		queuedDone <- err
+	}()
+	waitFor(t, time.Second, func() bool { return scrapeSeries(t, ts.URL, "server_queue_depth") == 1 })
+
+	close(gate.release)
+	if err := <-holdDone; err != nil {
+		t.Fatalf("held request: %v", err)
+	}
+	if err := <-queuedDone; err != nil {
+		t.Fatalf("queued request must be admitted when the slot frees, got %v", err)
+	}
+	want, _ := session.QueryMany(ctx, queuedPairs)
+	if got := <-queuedDists; math.Float64bits(got[0]) != math.Float64bits(want[0]) {
+		t.Fatalf("queued answer %v != %v", got[0], want[0])
+	}
+	waitFor(t, time.Second, func() bool {
+		return scrapeSeries(t, ts.URL, "server_queue_depth") == 0 &&
+			scrapeSeries(t, ts.URL, "server_inflight") == 0
+	})
+	if shed := scrapeSeries(t, ts.URL, "server_shed_total"); shed != 0 {
+		t.Fatalf("server_shed_total = %d; queueing within budget must not shed", shed)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(fmt.Errorf("condition not reached within %v", d))
+}

@@ -1,0 +1,294 @@
+// End-to-end suite for the oracled HTTP surface: every behavior the daemon
+// promises — correct distances, typed error bodies with correct status
+// codes, prompt deadline expiry — is pinned here over real HTTP
+// (httptest), not by calling handlers directly, so routing, encoding and
+// status plumbing are all under test.
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mpcspanner"
+	"mpcspanner/internal/core"
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/obs"
+	"mpcspanner/internal/oracle"
+	"mpcspanner/internal/server"
+)
+
+// testGraph is a connected weighted grid: deterministic, finite distances.
+func testGraph(t *testing.T, side int, seed uint64) *graph.Graph {
+	t.Helper()
+	return graph.Grid(side, side, graph.UniformWeight(1, 10), seed)
+}
+
+// exactSession serves g as given (no pipeline), instrumented on reg.
+func exactSession(t *testing.T, g *graph.Graph, reg *obs.Registry, workers int) *mpcspanner.Session {
+	t.Helper()
+	opts := []mpcspanner.Option{mpcspanner.WithExact(), mpcspanner.WithWorkers(workers)}
+	if reg != nil {
+		opts = append(opts, mpcspanner.WithMetrics(reg))
+	}
+	s, err := mpcspanner.Serve(context.Background(), g, opts...)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	return s
+}
+
+// postJSON posts raw bytes to the query endpoint and returns status + body.
+func postJSON(t *testing.T, url string, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/query: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp.StatusCode, raw
+}
+
+// decodeError decodes the typed error body every non-2xx response carries.
+func decodeError(t *testing.T, raw []byte) (code, field, reason string) {
+	t.Helper()
+	var body struct {
+		Error struct {
+			Code   string `json:"code"`
+			Field  string `json:"field"`
+			Reason string `json:"reason"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("non-2xx body is not the typed error JSON: %v (%q)", err, raw)
+	}
+	return body.Error.Code, body.Error.Field, body.Error.Reason
+}
+
+// TestQueryHappyPath pins the core contract: a batched POST answers exactly
+// what the in-process Session answers, including null for unreachable.
+func TestQueryHappyPath(t *testing.T) {
+	g := testGraph(t, 12, 3)
+	session := exactSession(t, g, nil, 2)
+	ts := httptest.NewServer(server.New(server.Config{Backend: session, Graph: g}).Handler())
+	defer ts.Close()
+
+	pairs := []oracle.Pair{{U: 0, V: 143}, {U: 7, V: 7}, {U: 50, V: 3}, {U: 0, V: 143}}
+	want, err := session.QueryMany(context.Background(), pairs)
+	if err != nil {
+		t.Fatalf("in-process QueryMany: %v", err)
+	}
+
+	got, err := server.NewClient(ts.URL).Query(context.Background(), pairs, time.Second)
+	if err != nil {
+		t.Fatalf("wire Query: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d distances, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Errorf("pair %d: wire %v (bits %x) != in-process %v (bits %x)",
+				i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestQueryUnreachableNull pins the +Inf encoding: a disconnected pair comes
+// back as JSON null on the wire and decodes to +Inf in the client.
+func TestQueryUnreachableNull(t *testing.T) {
+	// Four vertices, one edge: vertices 2 and 3 are unreachable from 0.
+	g := graph.MustNew(4, []graph.Edge{{U: 0, V: 1, W: 2.5}})
+	session := exactSession(t, g, nil, 1)
+	ts := httptest.NewServer(server.New(server.Config{Backend: session, Graph: g}).Handler())
+	defer ts.Close()
+
+	status, raw := postJSON(t, ts.URL, `{"pairs":[{"u":0,"v":3},{"u":0,"v":1}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, raw)
+	}
+	if !bytes.Contains(raw, []byte("null")) {
+		t.Fatalf("unreachable distance must encode as null, got %s", raw)
+	}
+	got, err := server.NewClient(ts.URL).Query(context.Background(), []oracle.Pair{{U: 0, V: 3}}, 0)
+	if err != nil {
+		t.Fatalf("wire Query: %v", err)
+	}
+	if !math.IsInf(got[0], +1) {
+		t.Fatalf("client must decode null as +Inf, got %v", got[0])
+	}
+}
+
+// TestQueryErrorTaxonomy pins every 4xx classification: malformed JSON,
+// unknown vertices, negative timeouts, oversized batches, wrong method —
+// each with its status code and typed JSON body.
+func TestQueryErrorTaxonomy(t *testing.T) {
+	g := testGraph(t, 8, 5)
+	session := exactSession(t, g, nil, 1)
+	ts := httptest.NewServer(server.New(server.Config{
+		Backend: session, Graph: g, MaxPairs: 4,
+	}).Handler())
+	defer ts.Close()
+
+	t.Run("malformed JSON", func(t *testing.T) {
+		status, raw := postJSON(t, ts.URL, `{"pairs": [{`)
+		if status != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400; body %s", status, raw)
+		}
+		if code, _, _ := decodeError(t, raw); code != "bad_request" {
+			t.Fatalf("code %q, want bad_request", code)
+		}
+	})
+
+	t.Run("unknown vertex", func(t *testing.T) {
+		status, raw := postJSON(t, ts.URL, `{"pairs":[{"u":0,"v":64}]}`) // n = 64
+		if status != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400; body %s", status, raw)
+		}
+		code, field, reason := decodeError(t, raw)
+		if code != "invalid_option" || field != "oracle: Pair.V" {
+			t.Fatalf("code %q field %q, want invalid_option / oracle: Pair.V (reason %q)", code, field, reason)
+		}
+	})
+
+	t.Run("negative timeout", func(t *testing.T) {
+		status, raw := postJSON(t, ts.URL, `{"pairs":[{"u":0,"v":1}],"timeout_ms":-5}`)
+		if status != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400; body %s", status, raw)
+		}
+		code, field, _ := decodeError(t, raw)
+		if code != "invalid_option" || field != "server: timeout_ms" {
+			t.Fatalf("code %q field %q, want invalid_option / server: timeout_ms", code, field)
+		}
+	})
+
+	t.Run("oversized batch", func(t *testing.T) {
+		status, raw := postJSON(t, ts.URL,
+			`{"pairs":[{"u":0,"v":1},{"u":0,"v":2},{"u":0,"v":3},{"u":1,"v":2},{"u":1,"v":3}]}`)
+		if status != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400; body %s", status, raw)
+		}
+		if code, field, _ := decodeError(t, raw); code != "invalid_option" || field != "pairs" {
+			t.Fatalf("code %q field %q, want invalid_option / pairs", code, field)
+		}
+	})
+
+	t.Run("wrong method", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/query")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /v1/query status %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+// slowBackend answers after delay per call, honoring ctx the way every
+// library layer does: a done context returns core.Canceled(ctx.Err()).
+type slowBackend struct {
+	inner server.Backend
+	delay time.Duration
+}
+
+func (b *slowBackend) QueryMany(ctx context.Context, pairs []oracle.Pair) ([]float64, error) {
+	select {
+	case <-time.After(b.delay):
+	case <-ctx.Done():
+		return nil, core.Canceled(ctx.Err())
+	}
+	return b.inner.QueryMany(ctx, pairs)
+}
+
+// TestDeadlineExceededMidBatch pins the deadline plumbing: a client-supplied
+// timeout_ms rides the request context into the backend, and its expiry
+// comes back promptly as 504 with the deadline_exceeded classification —
+// not as a hang and not as a generic 500.
+func TestDeadlineExceededMidBatch(t *testing.T) {
+	g := testGraph(t, 8, 7)
+	session := exactSession(t, g, nil, 1)
+	ts := httptest.NewServer(server.New(server.Config{
+		Backend: &slowBackend{inner: session, delay: 30 * time.Second},
+		Graph:   g,
+	}).Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	status, raw := postJSON(t, ts.URL, `{"pairs":[{"u":0,"v":9}],"timeout_ms":50}`)
+	elapsed := time.Since(start)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504; body %s", status, raw)
+	}
+	if code, _, _ := decodeError(t, raw); code != "deadline_exceeded" {
+		t.Fatalf("code %q, want deadline_exceeded", code)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline expiry took %v; must return promptly after the 50ms budget", elapsed)
+	}
+
+	// The client surface classifies it too.
+	_, err := server.NewClient(ts.URL).Query(context.Background(), []oracle.Pair{{U: 0, V: 9}}, 50*time.Millisecond)
+	var ae *server.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusGatewayTimeout || ae.Code != "deadline_exceeded" {
+		t.Fatalf("client error %v, want *APIError{504 deadline_exceeded}", err)
+	}
+}
+
+// TestInfoHealthzMetrics pins the sidecar endpoints: /v1/info reports the
+// graph shape and admission limits, /healthz is 200 while serving, and
+// /metrics exposes the server_* series next to the oracle_* series from the
+// very first scrape.
+func TestInfoHealthzMetrics(t *testing.T) {
+	g := testGraph(t, 10, 11)
+	reg := obs.NewRegistry()
+	session := exactSession(t, g, reg, 2)
+	srv := server.New(server.Config{
+		Backend: session, Graph: g, Metrics: reg, MaxInflight: 7, MaxPairs: 99,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	info, err := server.NewClient(ts.URL).Info(context.Background())
+	if err != nil {
+		t.Fatalf("Info: %v", err)
+	}
+	if info.N != g.N() || info.M != g.M() || info.MaxInflight != 7 || info.MaxPairs != 99 {
+		t.Fatalf("info %+v, want n=%d m=%d max_inflight=7 max_pairs=99", info, g.N(), g.M())
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v / %v", resp, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{
+		"server_requests_total", "server_shed_total", "server_inflight",
+		"server_queue_depth", "server_draining", "server_request_seconds_bucket",
+		"server_queue_wait_seconds_bucket", "server_batch_pairs_bucket",
+		"oracle_row_hits_total", "oracle_row_misses_total", "oracle_queue_wait_seconds_bucket",
+	} {
+		if !bytes.Contains(raw, []byte(series)) {
+			t.Errorf("/metrics missing series %s", series)
+		}
+	}
+}

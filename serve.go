@@ -113,6 +113,12 @@ func (s *Session) Row(ctx context.Context, src int) ([]float64, error) {
 // Stats snapshots the serving cache's hit/miss/eviction counters.
 func (s *Session) Stats() OracleStats { return s.oracle.Stats() }
 
+// CacheRows returns the serving cache's effective row budget (the ceiling on
+// resident distance rows across all shards, after defaulting). A serving
+// daemon derives its admission-control in-flight ceiling from it, so the
+// load it admits can never thrash the cache it depends on — see cmd/oracled.
+func (s *Session) CacheRows() int { return s.oracle.MaxRows() }
+
 // Served returns the graph queries are answered on: the collected spanner,
 // or the input graph under WithExact.
 func (s *Session) Served() *Graph { return s.served }
