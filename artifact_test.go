@@ -1,0 +1,320 @@
+package mpcspanner
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"mpcspanner/internal/artifact"
+)
+
+func artifactTestGraph() *Graph {
+	return Connectify(GNP(400, 0.03, UniformWeight(1, 50), 9), 5)
+}
+
+func artifactTestPairs(n int) []Pair {
+	var pairs []Pair
+	for u := 0; u < n; u += 23 {
+		for v := 1; v < n; v += 61 {
+			pairs = append(pairs, Pair{U: u, V: v})
+		}
+	}
+	return pairs
+}
+
+// TestSaveOpenBitIdentity is the determinism acceptance test: build, save,
+// reload, and the restored session must answer every query bit-identical to
+// a session served directly from the in-process result — at every worker
+// count (1, 3, and the GOMAXPROCS default).
+func TestSaveOpenBitIdentity(t *testing.T) {
+	ctx := context.Background()
+	g := artifactTestGraph()
+	pairs := artifactTestPairs(g.N())
+	for _, workers := range []int{1, 3, 0} {
+		res, err := Build(ctx, g,
+			WithAlgorithm(AlgoMPC), WithK(6), WithSeed(42), WithWorkers(workers),
+			WithSaveTo(filepath.Join(t.TempDir(), "spanner.art")))
+		if err != nil {
+			t.Fatalf("workers=%d: Build: %v", workers, err)
+		}
+		path := filepath.Join(t.TempDir(), "spanner.art")
+		if err := res.Save(path); err != nil {
+			t.Fatalf("workers=%d: Save: %v", workers, err)
+		}
+
+		direct, err := Serve(ctx, res.Spanner(), WithExact())
+		if err != nil {
+			t.Fatalf("workers=%d: Serve direct: %v", workers, err)
+		}
+		want, err := direct.QueryMany(ctx, pairs)
+		if err != nil {
+			t.Fatalf("workers=%d: direct QueryMany: %v", workers, err)
+		}
+
+		a, err := Open(ctx, path)
+		if err != nil {
+			t.Fatalf("workers=%d: Open: %v", workers, err)
+		}
+		loaded, err := Serve(ctx, nil, WithArtifact(a), WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: Serve loaded: %v", workers, err)
+		}
+		got, err := loaded.QueryMany(ctx, pairs)
+		if err != nil {
+			t.Fatalf("workers=%d: loaded QueryMany: %v", workers, err)
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("workers=%d: pair %d (%d,%d): loaded %v != direct %v",
+					workers, i, pairs[i].U, pairs[i].V, got[i], want[i])
+			}
+		}
+
+		// Provenance survives the round trip.
+		fp := loaded.Fingerprint()
+		if fp.Algorithm != string(AlgoMPC) || fp.Seed != 42 || fp.K != 6 || fp.Workers != workers {
+			t.Fatalf("workers=%d: restored fingerprint %+v", workers, fp)
+		}
+		if loaded.Artifact() != a {
+			t.Fatalf("workers=%d: Session.Artifact does not return the served artifact", workers)
+		}
+		if ids := a.EdgeIDs(); len(ids) != len(res.EdgeIDs) {
+			t.Fatalf("workers=%d: artifact records %d edge ids, build selected %d",
+				workers, len(ids), len(res.EdgeIDs))
+		}
+		if sn, sm := a.SourceShape(); sn != g.N() || sm != g.M() {
+			t.Fatalf("workers=%d: source shape (%d,%d), want (%d,%d)", workers, sn, sm, g.N(), g.M())
+		}
+		a.Close()
+	}
+}
+
+// TestWithSaveTo pins that the one-step save writes exactly the file an
+// explicit Save writes.
+func TestWithSaveTo(t *testing.T) {
+	ctx := context.Background()
+	g := artifactTestGraph()
+	dir := t.TempDir()
+	auto := filepath.Join(dir, "auto.art")
+	manual := filepath.Join(dir, "manual.art")
+	res, err := Build(ctx, g, WithAlgorithm(AlgoMPC), WithK(5), WithSeed(3), WithSaveTo(auto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Save(manual); err != nil {
+		t.Fatal(err)
+	}
+	aa, err := Open(ctx, auto)
+	if err != nil {
+		t.Fatalf("WithSaveTo produced an unopenable artifact: %v", err)
+	}
+	defer aa.Close()
+	am, err := Open(ctx, manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer am.Close()
+	if aa.Checksum() != am.Checksum() {
+		t.Fatalf("WithSaveTo checksum %s != Save checksum %s", aa.Checksum(), am.Checksum())
+	}
+}
+
+// TestSessionSaveWarmRows pins the warm-restart contract: a session saved
+// after serving freezes its resident rows, and a replica restarted from the
+// file answers those sources without a single Dijkstra. A second
+// save→load cycle keeps accumulating warmth.
+func TestSessionSaveWarmRows(t *testing.T) {
+	ctx := context.Background()
+	g := artifactTestGraph()
+	s, err := Serve(ctx, g, WithExact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := []Pair{{U: 0, V: 5}, {U: 17, V: 3}, {U: 99, V: 1}}
+	want, err := s.QueryMany(ctx, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "warm1.art")
+	if err := s.Save(p1); err != nil {
+		t.Fatal(err)
+	}
+
+	a1, err := Open(ctx, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	if got := artifact.RowsOf(a1).Len(); got != 3 {
+		t.Fatalf("saved artifact froze %d rows, want 3", got)
+	}
+	s1, err := Serve(ctx, nil, WithArtifact(a1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s1.QueryMany(ctx, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("warm pair %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	st := s1.Stats()
+	if st.Misses != 0 {
+		t.Fatalf("restored replica ran %d Dijkstras on its warm set", st.Misses)
+	}
+	if st.Hits == 0 {
+		t.Fatal("frozen rows did not count as hits")
+	}
+
+	// Warm a new source on the restored session, save again: the second
+	// artifact carries the union.
+	if _, err := s1.Query(ctx, 42, 7); err != nil {
+		t.Fatal(err)
+	}
+	p2 := filepath.Join(dir, "warm2.art")
+	if err := s1.Save(p2); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Open(ctx, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if got := artifact.RowsOf(a2).Len(); got != 4 {
+		t.Fatalf("second save froze %d rows, want 4 (3 inherited + 1 new)", got)
+	}
+}
+
+// TestArtifactOptionValidation sweeps the option-combination surface the
+// redesign added.
+func TestArtifactOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	g := artifactTestGraph()
+	path := filepath.Join(t.TempDir(), "a.art")
+	res, err := Build(ctx, g, WithAlgorithm(AlgoMPC), WithK(5), WithSeed(1), WithSaveTo(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	a, err := Open(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"WithArtifact on Build", func() error {
+			_, err := Build(ctx, g, WithK(4), WithArtifact(a))
+			return err
+		}},
+		{"WithSaveTo on Serve", func() error {
+			_, err := Serve(ctx, g, WithExact(), WithSaveTo(path))
+			return err
+		}},
+		{"empty SaveTo path", func() error {
+			_, err := Build(ctx, g, WithK(4), WithSaveTo(""))
+			return err
+		}},
+		{"nil artifact", func() error {
+			_, err := Serve(ctx, nil, WithArtifact(nil))
+			return err
+		}},
+		{"graph together with artifact", func() error {
+			_, err := Serve(ctx, g, WithArtifact(a))
+			return err
+		}},
+		{"nil graph without artifact", func() error {
+			_, err := Serve(ctx, nil)
+			return err
+		}},
+		{"build option with artifact", func() error {
+			_, err := Serve(ctx, nil, WithArtifact(a), WithSeed(1))
+			return err
+		}},
+		{"exact with artifact", func() error {
+			_, err := Serve(ctx, nil, WithArtifact(a), WithExact())
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("accepted an invalid combination")
+			}
+			if !errors.Is(err, ErrInvalidOption) {
+				t.Fatalf("want ErrInvalidOption, got %v", err)
+			}
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("want *OptionError, got %v", err)
+			}
+		})
+	}
+}
+
+// TestOpenErrors pins the facade's typed-error surface for bad files.
+func TestOpenErrors(t *testing.T) {
+	ctx := context.Background()
+	_, err := Open(ctx, filepath.Join(t.TempDir(), "missing.art"))
+	if err == nil {
+		t.Fatal("Open accepted a missing file")
+	}
+	if !errors.Is(err, ErrArtifact) {
+		t.Fatalf("want ErrArtifact, got %v", err)
+	}
+	var ae *ArtifactError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *ArtifactError, got %v", err)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Open(canceled, "anything.art"); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Open under a canceled context: want ErrCanceled, got %v", err)
+	}
+}
+
+// TestSaveOnForeignResult pins that a hand-assembled BuildResult (no source
+// graph) fails Save with a typed error instead of panicking.
+func TestSaveOnForeignResult(t *testing.T) {
+	var r BuildResult
+	err := r.Save(filepath.Join(t.TempDir(), "x.art"))
+	if !errors.Is(err, ErrArtifact) {
+		t.Fatalf("want ErrArtifact, got %v", err)
+	}
+}
+
+// TestServeBuiltSessionFingerprint pins the provenance of the two in-process
+// session kinds.
+func TestServeBuiltSessionFingerprint(t *testing.T) {
+	ctx := context.Background()
+	g := artifactTestGraph()
+	exact, err := Serve(ctx, g, WithExact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := exact.Fingerprint(); fp.Algorithm != "exact" {
+		t.Fatalf("exact session fingerprint %+v", fp)
+	}
+	if exact.Artifact() != nil {
+		t.Fatal("in-process session reports an artifact")
+	}
+	piped, err := Serve(ctx, g, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := piped.Fingerprint()
+	if fp.Algorithm != "apsp-mpc" || fp.Seed != 5 || fp.K == 0 || fp.T == 0 {
+		t.Fatalf("pipeline session fingerprint %+v", fp)
+	}
+}

@@ -3,6 +3,7 @@ package mpcspanner
 import (
 	"context"
 
+	"mpcspanner/internal/artifact"
 	"mpcspanner/internal/cclique"
 	"mpcspanner/internal/dist"
 	"mpcspanner/internal/mpc"
@@ -34,6 +35,10 @@ type config struct {
 	exact   bool
 	shards  int
 	maxRows int
+	art     *Artifact
+
+	// Persistence knob (Build only).
+	saveTo string
 
 	// set tracks which options were supplied, so each entry point can
 	// reject the ones it does not accept instead of silently ignoring them.
@@ -130,15 +135,37 @@ func WithCacheRows(n int) Option {
 	return func(c *config) { c.maxRows = n; c.mark("CacheRows") }
 }
 
+// WithSaveTo persists the build result to path as a versioned artifact
+// (see Open) immediately after a successful build, atomically — equivalent
+// to calling BuildResult.Save(path) yourself, but in one step. A failed
+// save fails the Build call with an ErrArtifact-classified error. Accepted
+// by Build only.
+func WithSaveTo(path string) Option {
+	return func(c *config) { c.saveTo = path; c.mark("SaveTo") }
+}
+
+// WithArtifact serves a previously saved artifact instead of running any
+// pipeline: pass a nil graph to Serve and the session answers distance
+// queries on the artifact's frozen graph, serving its precomputed rows (if
+// any) ahead of the cache. The session's provenance (Session.Fingerprint)
+// is the artifact's. The artifact must stay open for the session's
+// lifetime — for mmapped artifacts the session reads the mapping directly.
+// Only the cache and observability options (WithCacheShards, WithCacheRows,
+// WithWorkers, WithMetrics) combine with it. Accepted by Serve only.
+func WithArtifact(a *Artifact) Option {
+	return func(c *config) { c.art = a; c.mark("Artifact") }
+}
+
 // buildOnly / serveOnly / cliqueAPSPForeign name the options each entry
 // point rejects.
 var (
-	buildOnly = []string{"Algorithm", "K", "Repetitions", "MeasureRadius"}
-	serveOnly = []string{"Exact", "CacheShards", "CacheRows"}
+	buildOnly = []string{"Algorithm", "K", "Repetitions", "MeasureRadius", "SaveTo"}
+	serveOnly = []string{"Exact", "CacheShards", "CacheRows", "Artifact"}
 	// The Corollary 1.5 pipeline fixes its structural parameters, so only
 	// WithSeed / WithWorkers / WithProgress apply.
 	cliqueAPSPForeign = []string{"Algorithm", "K", "T", "Gamma", "Repetitions",
-		"MeasureRadius", "Exact", "CacheShards", "CacheRows", "Metrics", "Tracer"}
+		"MeasureRadius", "Exact", "CacheShards", "CacheRows", "Metrics", "Tracer",
+		"SaveTo", "Artifact"}
 )
 
 // newConfig folds opts and rejects the ones foreign to the calling entry
@@ -173,6 +200,14 @@ func newConfig(entry string, reject []string, opts []Option) (*config, error) {
 		return nil, &OptionError{Field: "mpcspanner: CacheRows", Value: c.maxRows,
 			Reason: "must be >= 0 (0 selects the default)"}
 	}
+	if c.set["SaveTo"] && c.saveTo == "" {
+		return nil, &OptionError{Field: "mpcspanner: SaveTo", Value: "",
+			Reason: "path must be non-empty"}
+	}
+	if c.set["Artifact"] && c.art == nil {
+		return nil, &OptionError{Field: "mpcspanner: Artifact", Value: nil,
+			Reason: "artifact must be non-nil"}
+	}
 	return c, nil
 }
 
@@ -203,7 +238,8 @@ type BuildResult struct {
 	// Algorithm is AlgoCongestedClique; nil otherwise.
 	CC *CCSpannerResult
 
-	g *Graph
+	g  *Graph
+	fp artifact.Fingerprint
 }
 
 // Size returns the number of spanner edges.
@@ -290,15 +326,21 @@ func Build(ctx context.Context, g *Graph, opts ...Option) (*BuildResult, error) 
 			Reason: "must lie in (0, 1) for AlgoUnweighted"}
 	}
 
-	// The engine families differ only in which constructor runs; they share
-	// the result wrapping after the switch.
+	// The engine families differ only in which constructor runs; every
+	// family funnels through the common tail below, which stamps the
+	// determinism fingerprint and honors WithSaveTo. fpT / fpGamma record
+	// the structural parameters the family actually ran with (after
+	// defaulting), so a saved artifact identifies the build exactly.
+	var out *BuildResult
 	var engineResult *spanner.Result
+	fpT, fpGamma := 0, 0.0
 	switch algo {
 	case AlgoGeneral:
 		t := cfg.t
 		if t <= 0 {
 			t = defaultT(cfg.k)
 		}
+		fpT = t
 		engineResult, err = spanner.GeneralCtx(ctx, g, cfg.k, t, engineOpts)
 	case AlgoClusterMerge:
 		engineResult, err = spanner.ClusterMergeCtx(ctx, g, cfg.k, engineOpts)
@@ -307,6 +349,7 @@ func Build(ctx context.Context, g *Graph, opts ...Option) (*BuildResult, error) 
 	case AlgoBaswanaSen:
 		engineResult, err = spanner.BaswanaSenCtx(ctx, g, cfg.k, engineOpts)
 	case AlgoUnweighted:
+		fpGamma = cfg.gamma
 		r, err := spanner.UnweightedCtx(ctx, g, cfg.k, spanner.UnweightedOptions{
 			Seed: cfg.seed, Gamma: cfg.gamma, Workers: cfg.workers,
 			Progress: traceProgress(cfg.tracer, cfg.progress),
@@ -314,12 +357,13 @@ func Build(ctx context.Context, g *Graph, opts ...Option) (*BuildResult, error) 
 		if err != nil {
 			return nil, err
 		}
-		return &BuildResult{Algorithm: algo, EdgeIDs: r.EdgeIDs, Unweighted: &r.Stats, g: g}, nil
+		out = &BuildResult{Algorithm: algo, EdgeIDs: r.EdgeIDs, Unweighted: &r.Stats, g: g}
 	case AlgoMPC:
 		t := cfg.t
 		if t <= 0 {
 			t = defaultT(cfg.k)
 		}
+		fpT, fpGamma = t, gamma
 		r, err := mpc.BuildSpannerCtx(ctx, g, cfg.k, t, cfg.seed, mpc.Options{
 			Gamma: gamma, Workers: cfg.workers,
 			Progress: traceProgress(cfg.tracer, cfg.progress),
@@ -328,25 +372,38 @@ func Build(ctx context.Context, g *Graph, opts ...Option) (*BuildResult, error) 
 		if err != nil {
 			return nil, err
 		}
-		return &BuildResult{Algorithm: algo, EdgeIDs: r.EdgeIDs, MPC: r, g: g}, nil
+		out = &BuildResult{Algorithm: algo, EdgeIDs: r.EdgeIDs, MPC: r, g: g}
 	case AlgoCongestedClique:
 		t := cfg.t
 		if t <= 0 {
 			t = defaultT(cfg.k)
 		}
+		fpT = t
 		r, err := cclique.BuildSpannerCtx(ctx, g, cfg.k, t, cfg.seed, cclique.BuildOptions{
 			Workers: cfg.workers, Progress: traceProgress(cfg.tracer, cfg.progress),
 		})
 		if err != nil {
 			return nil, err
 		}
-		return &BuildResult{Algorithm: algo, EdgeIDs: r.EdgeIDs, Stats: r.Stats, CC: r, g: g}, nil
+		out = &BuildResult{Algorithm: algo, EdgeIDs: r.EdgeIDs, Stats: r.Stats, CC: r, g: g}
 	default:
 		return nil, &OptionError{Field: "mpcspanner: Algorithm", Value: string(cfg.algo),
 			Reason: "unknown algorithm"}
 	}
-	if err != nil {
-		return nil, err
+	if out == nil {
+		if err != nil {
+			return nil, err
+		}
+		out = &BuildResult{Algorithm: algo, EdgeIDs: engineResult.EdgeIDs, Stats: engineResult.Stats, g: g}
 	}
-	return &BuildResult{Algorithm: algo, EdgeIDs: engineResult.EdgeIDs, Stats: engineResult.Stats, g: g}, nil
+	out.fp = artifact.Fingerprint{
+		Algorithm: string(algo), Seed: cfg.seed, K: cfg.k, T: fpT,
+		Gamma: fpGamma, Workers: cfg.workers,
+	}
+	if cfg.saveTo != "" {
+		if err := out.Save(cfg.saveTo); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

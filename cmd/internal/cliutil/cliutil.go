@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/obs"
 )
@@ -104,6 +105,52 @@ func GraphFlags(fs *flag.FlagSet) *GraphConfig {
 // FlagSet has parsed.
 func (c *GraphConfig) Make(connectify bool) (*graph.Graph, error) {
 	return MakeGraph(c.In, c.Gen, c.N, c.Deg, c.MaxW, c.Seed, connectify)
+}
+
+// ArtifactConfig holds the shared artifact persistence flags (-save, -load)
+// after parsing. Register them with ArtifactFlags next to GraphFlags;
+// Validate enforces the cross-flag rules after parsing. -load replaces the
+// generator path entirely, so combining it with any explicitly set graph
+// flag — or with -save, which needs a build to save — is a configuration
+// error, reported as a typed *core.OptionError like every other rejected
+// option.
+type ArtifactConfig struct {
+	Save string
+	Load string
+	fs   *flag.FlagSet
+}
+
+// ArtifactFlags registers -save and -load on fs and returns the config the
+// parsed values land in.
+func ArtifactFlags(fs *flag.FlagSet) *ArtifactConfig {
+	c := &ArtifactConfig{fs: fs}
+	fs.StringVar(&c.Save, "save", "", "save the built spanner as a versioned artifact at this path")
+	fs.StringVar(&c.Load, "load", "", "serve a saved artifact instead of generating and building (conflicts with graph flags)")
+	return c
+}
+
+// graphFlagNames are the GraphFlags names that conflict with -load.
+var graphFlagNames = map[string]bool{
+	"gen": true, "in": true, "n": true, "deg": true, "maxw": true, "seed": true,
+}
+
+// Validate enforces the flag-combination rules. Call after fs.Parse.
+func (c *ArtifactConfig) Validate() error {
+	if c.Load == "" {
+		return nil
+	}
+	if c.Save != "" {
+		return &core.OptionError{Field: "-save", Value: c.Save,
+			Reason: "conflicts with -load (nothing is built to save)"}
+	}
+	var conflict error
+	c.fs.Visit(func(f *flag.Flag) {
+		if conflict == nil && graphFlagNames[f.Name] {
+			conflict = &core.OptionError{Field: "-" + f.Name, Value: f.Value.String(),
+				Reason: "conflicts with -load (the artifact is the graph)"}
+		}
+	})
+	return conflict
 }
 
 // MetricsSink wires the shared -metrics flag: every CLI that constructs

@@ -1,12 +1,14 @@
 package cliutil
 
 import (
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"mpcspanner/internal/core"
 	"mpcspanner/internal/graph"
 )
 
@@ -217,5 +219,93 @@ func TestLoadMalformedFileErrors(t *testing.T) {
 	}
 	if _, err := MakeGraph(path, "", 0, 0, 0, 0, false); err == nil {
 		t.Fatal("malformed input file accepted")
+	}
+}
+
+func TestArtifactFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	ac := ArtifactFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ac.Save != "" || ac.Load != "" {
+		t.Fatalf("defaults drifted: %+v", *ac)
+	}
+	if err := ac.Validate(); err != nil {
+		t.Fatalf("empty config must validate: %v", err)
+	}
+	for _, name := range []string{"save", "load"} {
+		if fs.Lookup(name) == nil {
+			t.Fatalf("ArtifactFlags did not register -%s", name)
+		}
+	}
+}
+
+func TestArtifactFlagsValidCombinations(t *testing.T) {
+	cases := [][]string{
+		{"-save", "out.art"},
+		{"-save", "out.art", "-gen", "grid", "-n", "100"},
+		{"-load", "in.art"},
+	}
+	for _, args := range cases {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		GraphFlags(fs)
+		ac := ArtifactFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if err := ac.Validate(); err != nil {
+			t.Fatalf("%v rejected: %v", args, err)
+		}
+	}
+}
+
+func TestArtifactFlagsConflicts(t *testing.T) {
+	cases := []struct {
+		args      []string
+		wantField string
+	}{
+		{[]string{"-load", "in.art", "-save", "out.art"}, "-save"},
+		{[]string{"-load", "in.art", "-gen", "grid"}, "-gen"},
+		{[]string{"-load", "in.art", "-n", "500"}, "-n"},
+		{[]string{"-load", "in.art", "-seed", "7"}, "-seed"},
+		{[]string{"-load", "in.art", "-in", "g.txt"}, "-in"},
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		GraphFlags(fs)
+		ac := ArtifactFlags(fs)
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatal(err)
+		}
+		err := ac.Validate()
+		if err == nil {
+			t.Fatalf("%v accepted", tc.args)
+		}
+		var oe *core.OptionError
+		if !errors.As(err, &oe) {
+			t.Fatalf("%v: want *core.OptionError, got %v", tc.args, err)
+		}
+		if oe.Field != tc.wantField {
+			t.Fatalf("%v: error names %q, want %q", tc.args, oe.Field, tc.wantField)
+		}
+	}
+}
+
+func TestArtifactFlagsLoadTolerantOfOtherFlags(t *testing.T) {
+	// Only graph flags and -save conflict with -load; cache and metrics
+	// flags configure the serving side and remain legal.
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	GraphFlags(fs)
+	ac := ArtifactFlags(fs)
+	other := fs.Int("rows", 0, "")
+	if err := fs.Parse([]string{"-load", "in.art", "-rows", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.Validate(); err != nil {
+		t.Fatalf("-rows with -load rejected: %v", err)
+	}
+	if *other != 64 {
+		t.Fatal("unrelated flag lost its value")
 	}
 }

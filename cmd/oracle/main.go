@@ -34,11 +34,13 @@ import (
 	"mpcspanner"
 	"mpcspanner/cmd/internal/cliutil"
 	"mpcspanner/internal/apsp"
+	"mpcspanner/internal/artifact"
 	"mpcspanner/internal/oracle"
 )
 
 func main() {
 	gc := cliutil.GraphFlags(flag.CommandLine)
+	ac := cliutil.ArtifactFlags(flag.CommandLine)
 	k := flag.Int("k", 0, "spanner stretch parameter (0 = Corollary 1.4's ⌈log₂ n⌉)")
 	t := flag.Int("t", 0, "epoch length (0 = default)")
 	exact := flag.Bool("exact", false, "serve exact distances on the input graph (skip the spanner)")
@@ -53,6 +55,9 @@ func main() {
 	listen := flag.String("listen", "", "serve live /metrics and /debug/pprof on this address while running (e.g. :9090)")
 	met := cliutil.MetricsFlag()
 	flag.Parse()
+	if err := ac.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	// One registry feeds the build (mpc_* series), the serving oracle
 	// (oracle_* series), the -metrics dump and the -listen endpoint. -listen
@@ -74,12 +79,28 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Bridge disconnected inputs so every served distance is finite — except
-	// in -exact mode, where the input graph must be served untouched and
-	// cross-component queries correctly answer +Inf.
-	g, err := gc.Make(!*exact)
-	if err != nil {
-		log.Fatal(err)
+	// -load serves a saved artifact: the graph (and any frozen rows) come
+	// from the file, so the generator path is skipped entirely.
+	var art *mpcspanner.Artifact
+	var g *mpcspanner.Graph
+	var err error
+	if ac.Load != "" {
+		art, err = mpcspanner.Open(ctx, ac.Load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer art.Close()
+		g = art.Graph()
+		fmt.Fprintf(os.Stderr, "artifact: %s checksum=%s mapped=%v rows=%d fingerprint=%s\n",
+			ac.Load, art.Checksum(), art.Mapped(), artifact.RowsOf(art).Len(), art.Fingerprint())
+	} else {
+		// Bridge disconnected inputs so every served distance is finite —
+		// except in -exact mode, where the input graph must be served
+		// untouched and cross-component queries correctly answer +Inf.
+		g, err = gc.Make(!*exact)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "graph: n=%d m=%d\n", g.N(), g.M())
 
@@ -100,7 +121,7 @@ func main() {
 	}
 
 	serve := g
-	if !*exact {
+	if !*exact && art == nil {
 		kk := *k
 		if kk <= 0 {
 			kk, _ = apsp.Params(g.N(), 0) // Corollary 1.4's k = ⌈log₂ n⌉
@@ -129,9 +150,18 @@ func main() {
 			time.Since(start).Round(time.Millisecond))
 	}
 
-	s, err := mpcspanner.Serve(ctx, serve, mpcspanner.WithExact(),
+	cacheOpts := []mpcspanner.Option{
 		mpcspanner.WithCacheShards(*shards), mpcspanner.WithCacheRows(*rows),
-		mpcspanner.WithWorkers(*workers), mpcspanner.WithMetrics(reg))
+		mpcspanner.WithWorkers(*workers), mpcspanner.WithMetrics(reg),
+	}
+	var s *mpcspanner.Session
+	if art != nil {
+		s, err = mpcspanner.Serve(ctx, nil,
+			append(cacheOpts, mpcspanner.WithArtifact(art))...)
+	} else {
+		s, err = mpcspanner.Serve(ctx, serve,
+			append(cacheOpts, mpcspanner.WithExact())...)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -178,6 +208,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "row latency (%d rows): p50=%v p95=%v p99=%v\n", h.Count,
 				quantDur(h, 0.50), quantDur(h, 0.95), quantDur(h, 0.99))
 		}
+	}
+	if ac.Save != "" {
+		// Snapshot the session after serving, so every row the workload
+		// warmed is frozen into the artifact and a future -load starts hot.
+		if err := s.Save(ac.Save); err != nil {
+			log.Fatal(err)
+		}
+		a, err := mpcspanner.Open(ctx, ac.Save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "artifact: saved to %s checksum=%s rows=%d\n",
+			ac.Save, a.Checksum(), artifact.RowsOf(a).Len())
+		a.Close()
 	}
 	if err := met.Dump(); err != nil {
 		log.Fatal(err)

@@ -40,6 +40,7 @@ import (
 	"mpcspanner"
 	"mpcspanner/cmd/internal/cliutil"
 	"mpcspanner/internal/apsp"
+	"mpcspanner/internal/artifact"
 	"mpcspanner/internal/oracle"
 	"mpcspanner/internal/server"
 )
@@ -56,6 +57,8 @@ func main() {
 		runServe(os.Args[2:])
 	case "load":
 		runLoad(os.Args[2:])
+	case "convert":
+		runConvert(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -67,15 +70,43 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  oracled serve [flags]   run a distance-serving replica (see oracled serve -h)
-  oracled load  [flags]   fire a Zipf workload at a replica (see oracled load -h)
+  oracled serve   [flags]  run a distance-serving replica (see oracled serve -h)
+  oracled load    [flags]  fire a Zipf workload at a replica (see oracled load -h)
+  oracled convert [flags]  stream a text edge list into a servable artifact (see oracled convert -h)
 `)
+}
+
+// runConvert streams a text edge list (native or DIMACS) into a bare-graph
+// artifact without materializing the graph in memory, then reopens the
+// result to verify every checksum and report its identity.
+func runConvert(args []string) {
+	fs := flag.NewFlagSet("oracled convert", flag.ExitOnError)
+	in := fs.String("in", "", "source edge list (native 'n/e' or DIMACS 'p sp'/'a' format; required)")
+	out := fs.String("out", "", "artifact to write (required)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		log.Fatal("convert: both -in and -out are required")
+	}
+	start := time.Now()
+	res, err := artifact.Convert(*in, *out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := mpcspanner.Open(context.Background(), *out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	fmt.Fprintf(os.Stderr, "converted %s -> %s in %v: n=%d m=%d checksum=%s\n",
+		*in, *out, time.Since(start).Round(time.Millisecond), res.N, res.M, a.Checksum())
+	fmt.Fprintf(os.Stderr, "serve it with: oracled serve -load %s\n", *out)
 }
 
 // runServe is the daemon half.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("oracled serve", flag.ExitOnError)
 	gc := cliutil.GraphFlags(fs)
+	ac := cliutil.ArtifactFlags(fs)
 	addr := fs.String("addr", ":8080", "listen address")
 	exact := fs.Bool("exact", false, "serve exact distances on the input graph (skip the spanner build)")
 	k := fs.Int("k", 0, "spanner stretch parameter (0 = Corollary 1.4's ⌈log₂ n⌉)")
@@ -89,6 +120,13 @@ func runServe(args []string) {
 	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "ceiling on client-requested timeout_ms")
 	drain := fs.Duration("drain", 15*time.Second, "grace period for in-flight requests on SIGTERM")
 	fs.Parse(args)
+	if err := ac.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if ac.Save != "" && *exact {
+		log.Fatal(&mpcspanner.OptionError{Field: "-save", Value: ac.Save,
+			Reason: "nothing is built to save with -exact (use 'oracled convert' for graph-only artifacts)"})
+	}
 
 	// One registry carries the whole story: build-side mpc_* series, serving
 	// oracle_* series, and the daemon's server_* admission series, all on the
@@ -98,47 +136,100 @@ func runServe(args []string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Bridge disconnected inputs so every served distance is finite — except
-	// in -exact mode, where the graph must be served untouched and
-	// cross-component queries correctly answer null (+Inf).
-	g, err := gc.Make(!*exact)
-	if err != nil {
-		log.Fatal(err)
+	cacheOpts := []mpcspanner.Option{
+		mpcspanner.WithCacheShards(*shards), mpcspanner.WithCacheRows(*rows),
+		mpcspanner.WithWorkers(*workers), mpcspanner.WithMetrics(reg),
 	}
-	fmt.Fprintf(os.Stderr, "graph: n=%d m=%d\n", g.N(), g.M())
-
-	serveGraph := g
-	if !*exact {
-		kk := *k
-		if kk <= 0 {
-			kk, _ = apsp.Params(g.N(), 0) // Corollary 1.4's k = ⌈log₂ n⌉
-		}
-		tt := *t
-		if tt <= 0 {
-			tt = int(math.Max(1, math.Ceil(math.Log2(float64(kk)))))
-		}
+	var session *mpcspanner.Session
+	var serveGraph *mpcspanner.Graph
+	var artInfo *server.ArtifactInfo
+	if ac.Load != "" {
+		// Cold start from a saved artifact: no generation, no build — the
+		// graph (mmapped where possible) and any frozen rows come straight
+		// from the file, and /v1/info advertises exactly which build this
+		// replica answers from.
 		start := time.Now()
-		res, err := mpcspanner.Build(ctx, g,
-			mpcspanner.WithAlgorithm(mpcspanner.AlgoMPC),
-			mpcspanner.WithK(kk), mpcspanner.WithT(tt), mpcspanner.WithSeed(gc.Seed),
-			mpcspanner.WithMetrics(reg))
+		art, err := mpcspanner.Open(ctx, ac.Load)
 		if err != nil {
-			if errors.Is(err, mpcspanner.ErrCanceled) {
-				log.Fatal("canceled during the spanner build; not serving")
-			}
 			log.Fatal(err)
 		}
-		serveGraph = res.Spanner()
-		fmt.Fprintf(os.Stderr, "spanner: k=%d %d/%d edges, stretch <= %.2f, %d simulated rounds, built in %v\n",
-			kk, serveGraph.M(), g.M(), mpcspanner.StretchBound(kk, tt), res.MPC.Rounds,
+		defer art.Close()
+		session, err = mpcspanner.Serve(ctx, nil,
+			append(cacheOpts, mpcspanner.WithArtifact(art))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		serveGraph = session.Served()
+		fp := art.Fingerprint()
+		artInfo = &server.ArtifactInfo{
+			Algorithm: fp.Algorithm, Seed: fp.Seed, K: fp.K, T: fp.T,
+			Gamma: fp.Gamma, Workers: fp.Workers,
+			Checksum: art.Checksum(), Rows: artifact.RowsOf(art).Len(),
+			Mapped: art.Mapped(),
+		}
+		fmt.Fprintf(os.Stderr, "artifact: %s checksum=%s mapped=%v rows=%d fingerprint=%s loaded in %v\n",
+			ac.Load, art.Checksum(), art.Mapped(), artInfo.Rows, fp,
 			time.Since(start).Round(time.Millisecond))
-	}
+		fmt.Fprintf(os.Stderr, "graph: n=%d m=%d\n", serveGraph.N(), serveGraph.M())
+	} else {
+		// Bridge disconnected inputs so every served distance is finite —
+		// except in -exact mode, where the graph must be served untouched
+		// and cross-component queries correctly answer null (+Inf).
+		g, err := gc.Make(!*exact)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "graph: n=%d m=%d\n", g.N(), g.M())
 
-	session, err := mpcspanner.Serve(ctx, serveGraph, mpcspanner.WithExact(),
-		mpcspanner.WithCacheShards(*shards), mpcspanner.WithCacheRows(*rows),
-		mpcspanner.WithWorkers(*workers), mpcspanner.WithMetrics(reg))
-	if err != nil {
-		log.Fatal(err)
+		serveGraph = g
+		if !*exact {
+			kk := *k
+			if kk <= 0 {
+				kk, _ = apsp.Params(g.N(), 0) // Corollary 1.4's k = ⌈log₂ n⌉
+			}
+			tt := *t
+			if tt <= 0 {
+				tt = int(math.Max(1, math.Ceil(math.Log2(float64(kk)))))
+			}
+			buildOpts := []mpcspanner.Option{
+				mpcspanner.WithAlgorithm(mpcspanner.AlgoMPC),
+				mpcspanner.WithK(kk), mpcspanner.WithT(tt), mpcspanner.WithSeed(gc.Seed),
+				mpcspanner.WithMetrics(reg),
+			}
+			if ac.Save != "" {
+				buildOpts = append(buildOpts, mpcspanner.WithSaveTo(ac.Save))
+			}
+			start := time.Now()
+			res, err := mpcspanner.Build(ctx, g, buildOpts...)
+			if err != nil {
+				if errors.Is(err, mpcspanner.ErrCanceled) {
+					log.Fatal("canceled during the spanner build; not serving")
+				}
+				log.Fatal(err)
+			}
+			serveGraph = res.Spanner()
+			fmt.Fprintf(os.Stderr, "spanner: k=%d %d/%d edges, stretch <= %.2f, %d simulated rounds, built in %v\n",
+				kk, serveGraph.M(), g.M(), mpcspanner.StretchBound(kk, tt), res.MPC.Rounds,
+				time.Since(start).Round(time.Millisecond))
+			if ac.Save != "" {
+				// Reopen what WithSaveTo wrote so the printed checksum is the
+				// loader's view of the file — the line the CI smoke job greps
+				// and asserts against a -load replica's /v1/info.
+				a, err := mpcspanner.Open(ctx, ac.Save)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "artifact: saved to %s checksum=%s fingerprint=%s\n",
+					ac.Save, a.Checksum(), a.Fingerprint())
+				a.Close()
+			}
+		}
+
+		session, err = mpcspanner.Serve(ctx, serveGraph,
+			append(cacheOpts, mpcspanner.WithExact())...)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// Admission ceiling derived from the oracle's row budget: at most a
@@ -161,6 +252,7 @@ func runServe(args []string) {
 		QueueWait:   *queueWait,
 		MaxPairs:    *maxPairs,
 		MaxTimeout:  *maxTimeout,
+		Artifact:    artInfo,
 	})
 
 	l, err := net.Listen("tcp", *addr)

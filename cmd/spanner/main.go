@@ -29,15 +29,11 @@ import (
 )
 
 func main() {
-	gen := flag.String("gen", "gnp", "generator: gnp|grid|pa|rgg|torus|cycle")
-	in := flag.String("in", "", "read graph from file (overrides -gen)")
-	n := flag.Int("n", 10000, "vertices")
-	deg := flag.Float64("deg", 10, "average degree (gnp) / attachment degree (pa)")
-	maxW := flag.Float64("maxw", 100, "maximum edge weight (1 = unweighted)")
+	gc := cliutil.GraphFlags(flag.CommandLine)
+	ac := cliutil.ArtifactFlags(flag.CommandLine)
 	algo := flag.String("algo", "general", "general|cluster-merge|sqrt-k|baswana-sen|unweighted")
 	k := flag.Int("k", 8, "stretch parameter")
 	t := flag.Int("t", 0, "epoch length (0 = log k default)")
-	seed := flag.Uint64("seed", 1, "random seed")
 	useMPC := flag.Bool("mpc", false, "run on the simulated MPC cluster and report rounds")
 	gamma := flag.Float64("gamma", 0.5, "memory exponent for -mpc")
 	verify := flag.Int("verify", 2000, "edges to sample for stretch verification (0 = skip)")
@@ -45,11 +41,19 @@ func main() {
 	out := flag.String("out", "", "write the spanner subgraph to this file")
 	met := cliutil.MetricsFlag()
 	flag.Parse()
+	if err := ac.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	g, err := cliutil.MakeGraph(*in, *gen, *n, *deg, *maxW, *seed, false)
+	if ac.Load != "" {
+		inspectArtifact(ctx, ac.Load, *out)
+		return
+	}
+
+	g, err := gc.Make(false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,8 +61,11 @@ func main() {
 
 	opts := []mpcspanner.Option{
 		mpcspanner.WithK(*k),
-		mpcspanner.WithSeed(*seed),
+		mpcspanner.WithSeed(gc.Seed),
 		mpcspanner.WithMetrics(met.Registry()),
+	}
+	if ac.Save != "" {
+		opts = append(opts, mpcspanner.WithSaveTo(ac.Save))
 	}
 	if *t > 0 {
 		opts = append(opts, mpcspanner.WithT(*t))
@@ -117,9 +124,45 @@ func main() {
 			bound = float64(2*st.K - 1)
 		}
 	}
-	report(g, res.EdgeIDs, bound, *verify, *seed, *out)
+	report(g, res.EdgeIDs, bound, *verify, gc.Seed, *out)
+	if ac.Save != "" {
+		a, err := mpcspanner.Open(ctx, ac.Save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("artifact: saved to %s checksum=%s fingerprint=%s\n",
+			ac.Save, a.Checksum(), a.Fingerprint())
+		a.Close()
+	}
 	if err := met.Dump(); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// inspectArtifact is the -load mode: open (verifying every checksum), report
+// identity and shape, and optionally dump the contained graph.
+func inspectArtifact(ctx context.Context, path, out string) {
+	a, err := mpcspanner.Open(ctx, path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	g := a.Graph()
+	srcN, srcM := a.SourceShape()
+	fmt.Printf("artifact: %s checksum=%s mapped=%v\n", path, a.Checksum(), a.Mapped())
+	fmt.Printf("fingerprint: %s\n", a.Fingerprint())
+	fmt.Printf("graph: n=%d m=%d (source n=%d m=%d, %d edge ids recorded)\n",
+		g.N(), g.M(), srcN, srcM, len(a.EdgeIDs()))
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := g.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote graph to %s\n", out)
 	}
 }
 

@@ -23,12 +23,24 @@ var (
 	// (context.Canceled or context.DeadlineExceeded), so both
 	// errors.Is(err, ErrCanceled) and errors.Is(err, ctx.Err()) hold.
 	ErrCanceled = core.ErrCanceled
+
+	// ErrArtifact matches every artifact-format failure from Open, Save,
+	// and WithSaveTo: a missing or truncated file, a checksum mismatch, a
+	// foreign magic number, a format version from the future. When the
+	// failure wraps an I/O error the chain unwraps to it, so
+	// errors.Is(err, fs.ErrNotExist) still identifies a missing path.
+	ErrArtifact = core.ErrArtifact
 )
 
 // OptionError is the structured form of an option rejection: retrieve it
 // with errors.As to learn which Field was rejected, the Value supplied, and
 // the Reason (the violated constraint).
 type OptionError = core.OptionError
+
+// ArtifactError is the structured form of an artifact rejection: retrieve
+// it with errors.As to learn the Path, the container Section that failed
+// ("header", "section-table", "graph-edges", …), and the Reason.
+type ArtifactError = core.ArtifactError
 
 // ProgressEvent is one observation of a running Build or Serve, delivered
 // to the callback installed with WithProgress. See the field docs in

@@ -1,0 +1,72 @@
+package artifact
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/mpc"
+)
+
+// BenchmarkArtifactOpen is the cold-start story in numbers: reopening a
+// saved spanner (mmap and heap loaders) versus rebuilding it from the source
+// graph. The mmap arm is what an oracled replica pays on restart; the
+// rebuild arm is what it paid before artifacts existed.
+func BenchmarkArtifactOpen(b *testing.B) {
+	const n = 20000
+	g := graph.Connectify(graph.GNP(n, 8/float64(n), graph.UniformWeight(1, 100), 1), 50)
+	res, err := mpc.BuildSpannerCtx(context.Background(), g, 10, 4, 1, mpc.Options{Gamma: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spanner := g.Subgraph(res.EdgeIDs)
+	path := filepath.Join(b.TempDir(), "spanner.art")
+	if err := Write(path, Payload{Graph: spanner, EdgeIDs: res.EdgeIDs,
+		SourceN: g.N(), SourceM: g.M(),
+		Fingerprint: Fingerprint{Algorithm: "mpc", Seed: 1, K: 10, T: 4}}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("mmap", func(b *testing.B) {
+		if !mmapSupported || !canCast {
+			b.Skip("platform cannot map")
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, err := Open(path, OpenOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if a.Graph().N() != spanner.N() {
+				b.Fatal("wrong graph")
+			}
+			a.Close()
+		}
+	})
+	b.Run("heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, err := Open(path, OpenOptions{ForceHeap: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if a.Graph().N() != spanner.N() {
+				b.Fatal("wrong graph")
+			}
+			a.Close()
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := mpc.BuildSpannerCtx(context.Background(), g, 10, 4, 1, mpc.Options{Gamma: 0.5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g.Subgraph(r.EdgeIDs).N() != spanner.N() {
+				b.Fatal("wrong graph")
+			}
+		}
+	})
+}

@@ -1,0 +1,381 @@
+package artifact
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"mpcspanner/internal/core"
+)
+
+// ConvertResult summarizes a streaming conversion.
+type ConvertResult struct {
+	N, M int
+}
+
+// Convert streams a text edge list at src into a bare-graph artifact at
+// dst without ever materializing the graph in memory: peak RAM is O(n)
+// (a degree array and a write cursor per vertex), independent of m, so
+// graphs far larger than RAM can be converted offline and then served
+// straight from the mapping.
+//
+// Two input grammars are auto-detected from the header line:
+//
+//	native  "# comment" / "n <n> <m>" / "e <u> <v> <w>"   (0-based, graph.Write)
+//	DIMACS  "c comment" / "p sp <n> <m>" / "a <u> <v> <w>" (1-based)
+//
+// DIMACS files that list each undirected edge in both directions produce
+// parallel edges (the library tolerates them; they cost space, not
+// correctness) — deduplicate upstream if that matters.
+//
+// The conversion is two passes over src: pass one counts degrees and
+// validates every record; pass two writes edge records and CSR offsets
+// sequentially while scattering arcs into place with WriteAt. The arcs
+// region is then re-read once, sequentially, to checksum it. Like Write,
+// the output is assembled in a temp file and renamed into place.
+func Convert(src, dst string) (ConvertResult, error) {
+	var res ConvertResult
+
+	// Pass 1: header + degree count.
+	n, m, deg, err := convertScanDegrees(src)
+	if err != nil {
+		return res, err
+	}
+	res.N, res.M = n, m
+
+	mj, err := json.Marshal(meta{
+		Format:      FormatVersion,
+		Fingerprint: Fingerprint{Algorithm: "graph"},
+		N:           n,
+		M:           m,
+	})
+	if err != nil {
+		return res, core.ArtifactErrorf(dst, "meta", err, "encoding meta: %v", err)
+	}
+
+	// Fixed layout: meta, edges, off, arcs — offsets computable up front.
+	type lay struct {
+		off, len uint64
+	}
+	align := func(x uint64) uint64 { return (x + 7) &^ 7 }
+	const nsect = 4
+	base := align(uint64(headerSize + nsect*sectionSize))
+	layMeta := lay{base, uint64(len(mj))}
+	layEdges := lay{align(layMeta.off + layMeta.len), uint64(24 * m)}
+	layOff := lay{align(layEdges.off + layEdges.len), uint64(4 * (n + 1))}
+	layArcs := lay{align(layOff.off + layOff.len), uint64(16 * 2 * m)}
+	total := layArcs.off + layArcs.len
+
+	dir := filepath.Dir(dst)
+	tmp, err := os.CreateTemp(dir, filepath.Base(dst)+".tmp*")
+	if err != nil {
+		return res, core.ArtifactErrorf(dst, "", err, "creating temp file: %v", err)
+	}
+	defer os.Remove(tmp.Name())
+	defer tmp.Close()
+	if err := tmp.Truncate(int64(total)); err != nil {
+		return res, core.ArtifactErrorf(dst, "", err, "sizing temp file: %v", err)
+	}
+
+	// cursor[v] is the next free arc slot for vertex v; doubles as the
+	// CSR offset array before the scatter starts.
+	cursor := make([]int64, n+1)
+	var acc int64
+	for v := 0; v < n; v++ {
+		cursor[v] = acc
+		acc += int64(deg[v])
+	}
+	cursor[n] = acc
+
+	// off section: the prefix sums, written before cursor starts moving.
+	offBytes := make([]byte, layOff.len)
+	for v := 0; v <= n; v++ {
+		if cursor[v] > math.MaxInt32 {
+			return res, core.ArtifactErrorf(dst, "graph-off", nil,
+				"arc offset %d overflows the int32 CSR index (2m = %d)", cursor[v], 2*m)
+		}
+		binary.LittleEndian.PutUint32(offBytes[v*4:], uint32(cursor[v]))
+	}
+	if _, err := tmp.WriteAt(offBytes, int64(layOff.off)); err != nil {
+		return res, core.ArtifactErrorf(dst, "graph-off", err, "writing offsets: %v", err)
+	}
+	crcOff := crc32.Checksum(offBytes, castagnoli)
+	offBytes = nil
+
+	if _, err := tmp.WriteAt(mj, int64(layMeta.off)); err != nil {
+		return res, core.ArtifactErrorf(dst, "meta", err, "writing meta: %v", err)
+	}
+
+	// Pass 2: sequential edge records + arc scatter.
+	crcEdges, err := convertWriteEdges(src, dst, tmp, n, m, int64(layEdges.off), int64(layArcs.off), cursor)
+	if err != nil {
+		return res, err
+	}
+
+	// Re-read the arcs region sequentially for its checksum.
+	crcArcs, err := checksumRegion(tmp, int64(layArcs.off), int64(layArcs.len))
+	if err != nil {
+		return res, core.ArtifactErrorf(dst, "graph-arcs", err, "checksumming arcs: %v", err)
+	}
+
+	// Header + table.
+	sections := []section{
+		{kind: secMeta, off: layMeta.off, len: layMeta.len, crc: crc32.Checksum(mj, castagnoli)},
+		{kind: secGraphEdges, off: layEdges.off, len: layEdges.len, crc: crcEdges},
+		{kind: secGraphOff, off: layOff.off, len: layOff.len, crc: crcOff},
+		{kind: secGraphArcs, off: layArcs.off, len: layArcs.len, crc: crcArcs},
+	}
+	table := make([]byte, nsect*sectionSize)
+	for i, s := range sections {
+		e := table[i*sectionSize:]
+		binary.LittleEndian.PutUint32(e[0:], s.kind)
+		binary.LittleEndian.PutUint64(e[8:], s.off)
+		binary.LittleEndian.PutUint64(e[16:], s.len)
+		binary.LittleEndian.PutUint32(e[24:], s.crc)
+	}
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], nsect)
+	binary.LittleEndian.PutUint32(hdr[16:], crc32.Checksum(table, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[20:], crc32.Checksum(hdr[:20], castagnoli))
+	if _, err := tmp.WriteAt(hdr, 0); err != nil {
+		return res, core.ArtifactErrorf(dst, "header", err, "writing header: %v", err)
+	}
+	if _, err := tmp.WriteAt(table, headerSize); err != nil {
+		return res, core.ArtifactErrorf(dst, "section-table", err, "writing section table: %v", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return res, core.ArtifactErrorf(dst, "", err, "syncing: %v", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return res, core.ArtifactErrorf(dst, "", err, "closing: %v", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return res, core.ArtifactErrorf(dst, "", err, "renaming into place: %v", err)
+	}
+	return res, nil
+}
+
+// edgeListScanner yields (u, v, w) records from either supported grammar,
+// normalizing to 0-based vertex ids.
+type edgeListScanner struct {
+	sc       *bufio.Scanner
+	path     string
+	line     int
+	n, m     int
+	oneBased bool // DIMACS ids are 1-based
+	edgeTag  string
+}
+
+func newEdgeListScanner(path string, r io.Reader) *edgeListScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	return &edgeListScanner{sc: sc, path: path}
+}
+
+func (s *edgeListScanner) errf(format string, args ...any) error {
+	return core.ArtifactErrorf(s.path, "", nil, "line %d: %s", s.line, fmt.Sprintf(format, args...))
+}
+
+// header consumes lines up to and including the header, establishing the
+// grammar and (n, m).
+func (s *edgeListScanner) header() error {
+	for s.sc.Scan() {
+		s.line++
+		text := strings.TrimSpace(s.sc.Text())
+		switch {
+		case text == "" || strings.HasPrefix(text, "#"):
+			continue
+		case text == "c" || strings.HasPrefix(text, "c "):
+			continue // DIMACS comment
+		case strings.HasPrefix(text, "n "):
+			if _, err := fmt.Sscanf(text, "n %d %d", &s.n, &s.m); err != nil {
+				return s.errf("bad native header %q: %v", text, err)
+			}
+			s.edgeTag = "e"
+		case strings.HasPrefix(text, "p "):
+			var kind string
+			if _, err := fmt.Sscanf(text, "p %s %d %d", &kind, &s.n, &s.m); err != nil || kind != "sp" {
+				return s.errf("bad DIMACS problem line %q (want \"p sp <n> <m>\")", text)
+			}
+			s.edgeTag = "a"
+			s.oneBased = true
+		default:
+			return s.errf("expected a header line before %q", text)
+		}
+		if s.edgeTag != "" {
+			if s.n < 0 || s.m < 0 {
+				return s.errf("negative header values n=%d m=%d", s.n, s.m)
+			}
+			return nil
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		return core.ArtifactErrorf(s.path, "", err, "reading: %v", err)
+	}
+	return core.ArtifactErrorf(s.path, "", nil, "missing header line")
+}
+
+// next returns the next edge, or io.EOF after the last one.
+func (s *edgeListScanner) next() (u, v int, w float64, err error) {
+	for s.sc.Scan() {
+		s.line++
+		text := strings.TrimSpace(s.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") ||
+			(s.oneBased && (text == "c" || strings.HasPrefix(text, "c "))) {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 || fields[0] != s.edgeTag {
+			return 0, 0, 0, s.errf("unrecognized record %q (want \"%s <u> <v> <w>\")", text, s.edgeTag)
+		}
+		if u, err = strconv.Atoi(fields[1]); err != nil {
+			return 0, 0, 0, s.errf("bad endpoint %q: %v", fields[1], err)
+		}
+		if v, err = strconv.Atoi(fields[2]); err != nil {
+			return 0, 0, 0, s.errf("bad endpoint %q: %v", fields[2], err)
+		}
+		if w, err = strconv.ParseFloat(fields[3], 64); err != nil {
+			return 0, 0, 0, s.errf("bad weight %q: %v", fields[3], err)
+		}
+		if s.oneBased {
+			u--
+			v--
+		}
+		if u < 0 || u >= s.n || v < 0 || v >= s.n {
+			return 0, 0, 0, s.errf("edge (%d,%d) out of range for n=%d", u, v, s.n)
+		}
+		if u == v {
+			return 0, 0, 0, s.errf("self-loop at vertex %d", u)
+		}
+		if !(w > 0) {
+			return 0, 0, 0, s.errf("non-positive weight %v", w)
+		}
+		return u, v, w, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return 0, 0, 0, core.ArtifactErrorf(s.path, "", err, "reading: %v", err)
+	}
+	return 0, 0, 0, io.EOF
+}
+
+// convertScanDegrees is pass one: full validation plus the degree tally.
+func convertScanDegrees(src string) (n, m int, deg []int32, err error) {
+	f, err := os.Open(src)
+	if err != nil {
+		return 0, 0, nil, core.ArtifactErrorf(src, "", err, "opening: %v", err)
+	}
+	defer f.Close()
+	s := newEdgeListScanner(src, bufio.NewReaderSize(f, 1<<20))
+	if err := s.header(); err != nil {
+		return 0, 0, nil, err
+	}
+	deg = make([]int32, s.n)
+	count := 0
+	for {
+		u, v, _, err := s.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		deg[u]++
+		deg[v]++
+		count++
+	}
+	if count != s.m {
+		return 0, 0, nil, core.ArtifactErrorf(src, "", nil,
+			"header declared %d edges, found %d", s.m, count)
+	}
+	return s.n, s.m, deg, nil
+}
+
+// convertWriteEdges is pass two: sequential 24-byte edge records (buffered)
+// plus two 16-byte arc records per edge scattered with WriteAt, advancing
+// the per-vertex cursors. Returns the edges section's CRC.
+func convertWriteEdges(src, dst string, out *os.File, n, m int, edgesOff, arcsOff int64, cursor []int64) (uint32, error) {
+	f, err := os.Open(src)
+	if err != nil {
+		return 0, core.ArtifactErrorf(src, "", err, "reopening for pass two: %v", err)
+	}
+	defer f.Close()
+	s := newEdgeListScanner(src, bufio.NewReaderSize(f, 1<<20))
+	if err := s.header(); err != nil {
+		return 0, err
+	}
+	if s.n != n || s.m != m {
+		return 0, core.ArtifactErrorf(src, "", nil,
+			"input changed between passes (header now n=%d m=%d, was n=%d m=%d)", s.n, s.m, n, m)
+	}
+
+	crc := crc32.New(castagnoli)
+	ew := bufio.NewWriterSize(&sectionWriter{f: out, off: edgesOff}, 1<<20)
+	var edgeRec [24]byte
+	var arcRec [16]byte
+	for id := 0; ; id++ {
+		u, v, w, err := s.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		binary.LittleEndian.PutUint64(edgeRec[0:], uint64(int64(u)))
+		binary.LittleEndian.PutUint64(edgeRec[8:], uint64(int64(v)))
+		binary.LittleEndian.PutUint64(edgeRec[16:], math.Float64bits(w))
+		if _, err := ew.Write(edgeRec[:]); err != nil {
+			return 0, core.ArtifactErrorf(dst, "graph-edges", err, "writing edges: %v", err)
+		}
+		crc.Write(edgeRec[:])
+
+		// Arc u → v and its reverse, each at its vertex's next slot.
+		binary.LittleEndian.PutUint64(arcRec[0:], uint64(int64(v)))
+		binary.LittleEndian.PutUint64(arcRec[8:], uint64(int64(id)))
+		if _, err := out.WriteAt(arcRec[:], arcsOff+16*cursor[u]); err != nil {
+			return 0, core.ArtifactErrorf(dst, "graph-arcs", err, "writing arcs: %v", err)
+		}
+		cursor[u]++
+		binary.LittleEndian.PutUint64(arcRec[0:], uint64(int64(u)))
+		if _, err := out.WriteAt(arcRec[:], arcsOff+16*cursor[v]); err != nil {
+			return 0, core.ArtifactErrorf(dst, "graph-arcs", err, "writing arcs: %v", err)
+		}
+		cursor[v]++
+	}
+	if err := ew.Flush(); err != nil {
+		return 0, core.ArtifactErrorf(dst, "graph-edges", err, "flushing edges: %v", err)
+	}
+	return crc.Sum32(), nil
+}
+
+// sectionWriter adapts WriteAt to io.Writer for buffered sequential output
+// into a region of the file, independent of the file's seek offset.
+type sectionWriter struct {
+	f   *os.File
+	off int64
+}
+
+func (w *sectionWriter) Write(p []byte) (int, error) {
+	n, err := w.f.WriteAt(p, w.off)
+	w.off += int64(n)
+	return n, err
+}
+
+// checksumRegion CRCs length bytes of f starting at off, reading
+// sequentially through a buffer.
+func checksumRegion(f *os.File, off, length int64) (uint32, error) {
+	crc := crc32.New(castagnoli)
+	if _, err := io.Copy(crc, io.NewSectionReader(f, off, length)); err != nil {
+		return 0, err
+	}
+	return crc.Sum32(), nil
+}

@@ -1,0 +1,228 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpcspanner/internal/core"
+	"mpcspanner/internal/graph"
+)
+
+// writeFile drops content into a temp file and returns its path.
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestConvertNative pins that the streaming converter produces the same
+// graph as the in-memory path: render a GNP graph to the native text format,
+// Convert it, and compare against graph.ReadFrom of the same text.
+func TestConvertNative(t *testing.T) {
+	g := testGraph(t, 250, 11)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	src := writeFile(t, "g.txt", buf.String())
+	dst := filepath.Join(t.TempDir(), "g.art")
+
+	res, err := Convert(src, dst)
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	if res.N != g.N() || res.M != g.M() {
+		t.Fatalf("ConvertResult: got n=%d m=%d, want n=%d m=%d", res.N, res.M, g.N(), g.M())
+	}
+
+	want, err := graph.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []OpenOptions{{}, {ForceHeap: true}} {
+		a, err := Open(dst, opt)
+		if err != nil {
+			t.Fatalf("Open(%v): %v", opt, err)
+		}
+		sameGraph(t, want, a.Graph())
+		if fp := a.Fingerprint(); fp.Algorithm != "graph" {
+			t.Errorf("converted fingerprint algorithm: got %q, want \"graph\"", fp.Algorithm)
+		}
+		if RowsOf(a).Len() != 0 {
+			t.Error("converted artifact should carry no rows")
+		}
+		a.Close()
+	}
+}
+
+// TestConvertDIMACS feeds the 1-based DIMACS grammar and checks the ids come
+// out normalized to 0-based.
+func TestConvertDIMACS(t *testing.T) {
+	src := writeFile(t, "g.gr", strings.Join([]string{
+		"c a DIMACS shortest-path instance",
+		"p sp 4 3",
+		"a 1 2 1.5",
+		"c mid-file comment",
+		"a 2 3 2",
+		"a 3 4 0.25",
+		"",
+	}, "\n"))
+	dst := filepath.Join(t.TempDir(), "g.art")
+	res, err := Convert(src, dst)
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	if res.N != 4 || res.M != 3 {
+		t.Fatalf("got n=%d m=%d, want n=4 m=3", res.N, res.M)
+	}
+	a, err := Open(dst, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	want := []graph.Edge{{U: 0, V: 1, W: 1.5}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 0.25}}
+	got := a.Graph().Edges()
+	if len(got) != len(want) {
+		t.Fatalf("edges: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestConvertMatchesWrite pins the stronger property: converting a text
+// rendering of g yields the byte-identical file that Write(Payload{Graph})
+// of the parsed graph yields, so the two construction paths share one
+// checksum identity.
+func TestConvertMatchesWrite(t *testing.T) {
+	g := testGraph(t, 180, 21)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := graph.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	conv := filepath.Join(dir, "conv.art")
+	wrote := filepath.Join(dir, "wrote.art")
+	if _, err := Convert(writeFile(t, "g.txt", buf.String()), conv); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(wrote, Payload{Graph: parsed, Fingerprint: Fingerprint{Algorithm: "graph"}}); err != nil {
+		t.Fatal(err)
+	}
+	cb, err := os.ReadFile(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := os.ReadFile(wrote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb, wb) {
+		t.Fatalf("Convert and Write disagree: %d vs %d bytes", len(cb), len(wb))
+	}
+}
+
+func TestConvertRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name, content, wantSub string
+	}{
+		{"empty", "", "missing header"},
+		{"no header", "e 0 1 2\n", "expected a header line"},
+		{"bad dimacs problem", "p max 3 2\na 1 2 1\na 2 3 1\n", "p sp"},
+		{"edge count short", "n 3 2\ne 0 1 1\n", "declared 2 edges, found 1"},
+		{"edge count long", "n 3 1\ne 0 1 1\ne 1 2 1\n", "declared 1 edges, found 2"},
+		{"out of range", "n 3 1\ne 0 3 1\n", "out of range"},
+		{"self loop", "n 3 1\ne 1 1 1\n", "self-loop"},
+		{"zero weight", "n 3 1\ne 0 1 0\n", "non-positive weight"},
+		{"negative weight", "n 3 1\ne 0 1 -2\n", "non-positive weight"},
+		{"bad weight", "n 3 1\ne 0 1 cheap\n", "bad weight"},
+		{"unrecognized record", "n 3 1\nq 0 1 1\n", "unrecognized record"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := writeFile(t, "bad.txt", tc.content)
+			dst := filepath.Join(t.TempDir(), "bad.art")
+			_, err := Convert(src, dst)
+			if err == nil {
+				t.Fatal("Convert accepted bad input")
+			}
+			if !errors.Is(err, core.ErrArtifact) {
+				t.Fatalf("want ErrArtifact, got %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+			if _, err := os.Stat(dst); !errors.Is(err, os.ErrNotExist) {
+				t.Errorf("failed Convert left a file at dst: %v", err)
+			}
+		})
+	}
+}
+
+// TestConvertLarger exercises the streaming path on a graph big enough that
+// the buffered edge writer flushes more than once.
+func TestConvertLarger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := testGraph(t, 5000, 33)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	src := writeFile(t, "g.txt", buf.String())
+	dst := filepath.Join(t.TempDir(), "g.art")
+	if _, err := Convert(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(dst, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	want, err := graph.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, want, a.Graph())
+}
+
+// TestConvertWeightBits pins that weights survive the text round trip at
+// full precision for values %g prints exactly.
+func TestConvertWeightBits(t *testing.T) {
+	weights := []float64{1, 0.1, 1e-12, 12345.6789, 3.141592653589793}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n %d %d\n", len(weights)+1, len(weights))
+	for i, w := range weights {
+		fmt.Fprintf(&sb, "e %d %d %g\n", i, i+1, w)
+	}
+	src := writeFile(t, "w.txt", sb.String())
+	dst := filepath.Join(t.TempDir(), "w.art")
+	if _, err := Convert(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(dst, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i, e := range a.Graph().Edges() {
+		if e.W != weights[i] {
+			t.Errorf("edge %d weight: got %v, want %v", i, e.W, weights[i])
+		}
+	}
+}

@@ -1,0 +1,18 @@
+//go:build !linux && !darwin
+
+package artifact
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported is false here: platforms without the syscall.Mmap surface
+// we rely on always load artifacts through the portable heap decoder.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("mmap not supported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,244 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mpcspanner/internal/core"
+	"mpcspanner/internal/graph"
+)
+
+// Payload is everything Write persists. Graph is the only required field:
+// the graph a loading session serves (for a build artifact, the spanner
+// subgraph; for a converted input, the input itself).
+type Payload struct {
+	// Graph is the graph to freeze. Required.
+	Graph *graph.Graph
+
+	// EdgeIDs are the spanner's edge ids into the source graph, recorded
+	// for provenance (sorted ascending, as BuildResult reports them).
+	// Optional.
+	EdgeIDs []int
+
+	// SourceN and SourceM record the shape of the graph the build ran on.
+	// Zero when the artifact is a bare graph.
+	SourceN, SourceM int
+
+	// Fingerprint identifies the computation that produced the payload.
+	Fingerprint Fingerprint
+
+	// RowSources and Rows carry precomputed oracle rows: Rows[i] is the
+	// full distance row from RowSources[i], length Graph.N(). Write sorts
+	// the pairs by source, so callers can pass them in any order.
+	// Optional; both or neither.
+	RowSources []int
+	Rows       [][]float64
+}
+
+// Write serializes p to path in artifact format version 1. The file is
+// assembled next to path and renamed into place, so a crashed writer never
+// leaves a half-written artifact where a loader will find it. Output bytes
+// are a pure function of the payload — byte-identical payloads give
+// byte-identical files, which makes the file checksum a usable build
+// identity.
+func Write(path string, p Payload) error {
+	if p.Graph == nil {
+		return core.ArtifactErrorf(path, "", nil, "cannot save a nil graph")
+	}
+	if len(p.RowSources) != len(p.Rows) {
+		return core.ArtifactErrorf(path, "row-sources", nil,
+			"%d row sources for %d rows", len(p.RowSources), len(p.Rows))
+	}
+	n := p.Graph.N()
+	srcs, rows, err := sortedRows(path, n, p.RowSources, p.Rows)
+	if err != nil {
+		return err
+	}
+
+	off, arcs := graph.CSR(p.Graph)
+	mj, err := json.Marshal(meta{
+		Format:      FormatVersion,
+		Fingerprint: p.Fingerprint,
+		N:           n,
+		M:           p.Graph.M(),
+		SourceN:     p.SourceN,
+		SourceM:     p.SourceM,
+		Rows:        len(srcs),
+	})
+	if err != nil {
+		return core.ArtifactErrorf(path, "meta", err, "encoding meta: %v", err)
+	}
+
+	var w writer
+	w.section(secMeta, mj)
+	w.section(secGraphEdges, encodeEdges(p.Graph.Edges()))
+	w.section(secGraphOff, encodeInt32s(off))
+	w.section(secGraphArcs, encodeArcs(arcs))
+	if len(p.EdgeIDs) > 0 {
+		w.section(secEdgeIDs, encodeInts(p.EdgeIDs))
+	}
+	if len(srcs) > 0 {
+		w.section(secRowSources, encodeInts(srcs))
+		w.section(secRowData, encodeFloat64s(rows))
+	}
+	return w.commit(path)
+}
+
+// sortedRows validates the precomputed rows and returns them ordered by
+// source with duplicates rejected, plus the row data flattened row-major.
+func sortedRows(path string, n int, srcs []int, rows [][]float64) ([]int, []float64, error) {
+	if len(srcs) == 0 {
+		return nil, nil, nil
+	}
+	order := make([]int, len(srcs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return srcs[order[a]] < srcs[order[b]] })
+	outSrc := make([]int, len(srcs))
+	outData := make([]float64, 0, len(srcs)*n)
+	for i, idx := range order {
+		s := srcs[idx]
+		if s < 0 || s >= n {
+			return nil, nil, core.ArtifactErrorf(path, "row-sources", nil,
+				"row source %d out of range [0,%d)", s, n)
+		}
+		if i > 0 && s == outSrc[i-1] {
+			return nil, nil, core.ArtifactErrorf(path, "row-sources", nil,
+				"duplicate row source %d", s)
+		}
+		if len(rows[idx]) != n {
+			return nil, nil, core.ArtifactErrorf(path, "row-data", nil,
+				"row for source %d has %d entries, want n = %d", s, len(rows[idx]), n)
+		}
+		outSrc[i] = s
+		outData = append(outData, rows[idx]...)
+	}
+	return outSrc, outData, nil
+}
+
+// writer accumulates aligned sections and their table, then commits the
+// whole container atomically.
+type writer struct {
+	sections []section
+	body     []byte // section payloads, offsets relative to file start
+}
+
+// section appends one section, 8-byte-aligned, recording its CRC.
+func (w *writer) section(kind uint32, payload []byte) {
+	for len(w.body)%8 != 0 {
+		w.body = append(w.body, 0)
+	}
+	w.sections = append(w.sections, section{
+		kind: kind,
+		off:  uint64(len(w.body)), // body-relative; rebased in commit
+		len:  uint64(len(payload)),
+		crc:  crc32.Checksum(payload, castagnoli),
+	})
+	w.body = append(w.body, payload...)
+}
+
+// commit writes header + table + body to a temp file and renames it over
+// path.
+func (w *writer) commit(path string) error {
+	base := headerSize + sectionSize*len(w.sections)
+	for base%8 != 0 {
+		base++
+	}
+
+	table := make([]byte, sectionSize*len(w.sections))
+	for i, s := range w.sections {
+		e := table[i*sectionSize:]
+		binary.LittleEndian.PutUint32(e[0:], s.kind)
+		binary.LittleEndian.PutUint64(e[8:], uint64(base)+s.off)
+		binary.LittleEndian.PutUint64(e[16:], s.len)
+		binary.LittleEndian.PutUint32(e[24:], s.crc)
+	}
+
+	hdr := make([]byte, base)
+	copy(hdr, magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(w.sections)))
+	binary.LittleEndian.PutUint32(hdr[16:], crc32.Checksum(table, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[20:], crc32.Checksum(hdr[:20], castagnoli))
+	copy(hdr[headerSize:], table)
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return core.ArtifactErrorf(path, "", err, "creating temp file: %v", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(hdr); err == nil {
+		_, err = tmp.Write(w.body)
+	}
+	if err != nil {
+		tmp.Close()
+		return core.ArtifactErrorf(path, "", err, "writing: %v", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return core.ArtifactErrorf(path, "", err, "syncing: %v", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return core.ArtifactErrorf(path, "", err, "closing: %v", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return core.ArtifactErrorf(path, "", err, "renaming into place: %v", err)
+	}
+	return nil
+}
+
+// The encode* helpers below are the single definition of the on-disk
+// element encodings; the heap loader in read.go is their inverse and the
+// mmap loader's unsafe casts are checked against them by
+// TestMappedVsHeapIdentical.
+
+func encodeEdges(edges []graph.Edge) []byte {
+	b := make([]byte, 24*len(edges))
+	for i, e := range edges {
+		p := b[i*24:]
+		binary.LittleEndian.PutUint64(p[0:], uint64(int64(e.U)))
+		binary.LittleEndian.PutUint64(p[8:], uint64(int64(e.V)))
+		binary.LittleEndian.PutUint64(p[16:], math.Float64bits(e.W))
+	}
+	return b
+}
+
+func encodeArcs(arcs []graph.Arc) []byte {
+	b := make([]byte, 16*len(arcs))
+	for i, a := range arcs {
+		p := b[i*16:]
+		binary.LittleEndian.PutUint64(p[0:], uint64(int64(a.To)))
+		binary.LittleEndian.PutUint64(p[8:], uint64(int64(a.Edge)))
+	}
+	return b
+}
+
+func encodeInt32s(v []int32) []byte {
+	b := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(x))
+	}
+	return b
+}
+
+func encodeInts(v []int) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[i*8:], uint64(int64(x)))
+	}
+	return b
+}
+
+func encodeFloat64s(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(x))
+	}
+	return b
+}

@@ -41,6 +41,51 @@ func (e *OptionError) Error() string {
 // Is makes every *OptionError match the ErrInvalidOption sentinel.
 func (e *OptionError) Is(target error) bool { return target == ErrInvalidOption }
 
+// ErrArtifact is the sentinel every artifact-format failure matches:
+// errors.Is(err, ErrArtifact) holds for every *ArtifactError the artifact
+// layer returns — a missing or truncated file, a checksum mismatch, a foreign
+// magic number, a version from the future — so callers can distinguish "this
+// file is not a usable artifact" from configuration mistakes (ErrInvalidOption)
+// and interruptions (ErrCanceled) without string matching.
+var ErrArtifact = errors.New("invalid artifact")
+
+// ArtifactError reports one rejected artifact file. It matches ErrArtifact
+// under errors.Is and carries the structured fields programmatic callers need
+// under errors.As. When the failure wraps an I/O error, Unwrap exposes it, so
+// errors.Is(err, fs.ErrNotExist) still works for a missing path.
+type ArtifactError struct {
+	// Path is the artifact file the failure concerns.
+	Path string
+	// Section names the part of the container that failed ("header",
+	// "section-table", "meta", "graph-edges", …); empty when the failure
+	// precedes section decoding (open/stat/read errors).
+	Section string
+	// Reason states what was wrong with it.
+	Reason string
+
+	cause error
+}
+
+func (e *ArtifactError) Error() string {
+	if e.Section != "" {
+		return fmt.Sprintf("invalid artifact %s: section %s: %s", e.Path, e.Section, e.Reason)
+	}
+	return fmt.Sprintf("invalid artifact %s: %s", e.Path, e.Reason)
+}
+
+// Is makes every *ArtifactError match the ErrArtifact sentinel.
+func (e *ArtifactError) Is(target error) bool { return target == ErrArtifact }
+
+// Unwrap exposes the underlying I/O error, when there is one.
+func (e *ArtifactError) Unwrap() error { return e.cause }
+
+// ArtifactErrorf builds a *ArtifactError; pass a nil cause when the failure
+// is purely structural (bad magic, bad checksum) rather than I/O.
+func ArtifactErrorf(path, section string, cause error, format string, args ...any) error {
+	return &ArtifactError{Path: path, Section: section,
+		Reason: fmt.Sprintf(format, args...), cause: cause}
+}
+
 // ErrCanceled is the sentinel a cooperatively interrupted operation matches.
 // Errors returned for an interrupted context satisfy both
 // errors.Is(err, ErrCanceled) and errors.Is(err, ctx.Err()) — the latter

@@ -63,6 +63,13 @@ type Options struct {
 	// runtime.NumCPU().
 	Workers int
 
+	// Frozen, when non-nil, serves precomputed rows ahead of the cache:
+	// a source the RowSource knows is answered from it directly — no lock,
+	// no LRU traffic, no Dijkstra — and counts as a hit in Stats. Sources
+	// it does not know fall through to the normal cache-then-Dijkstra
+	// path. Typically the row section of a loaded artifact.
+	Frozen RowSource
+
 	// Metrics, when non-nil, exposes the cache counters
 	// (oracle_row_{hits,misses,evictions}_total, oracle_rows_resident) and
 	// enables the latency histograms (oracle_row_seconds,
@@ -92,6 +99,7 @@ type Oracle struct {
 	g       *graph.Graph
 	shards  []shard
 	workers int
+	frozen  RowSource // nil unless Options.Frozen was set
 
 	// Cache counters are obs counters (atomic, lock-free) so Stats() and an
 	// attached /metrics endpoint read the same coherent series. resident
@@ -155,7 +163,7 @@ func New(g *graph.Graph, opt Options) *Oracle {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	o := &Oracle{g: g, shards: make([]shard, nshards), workers: workers}
+	o := &Oracle{g: g, shards: make([]shard, nshards), workers: workers, frozen: opt.Frozen}
 	reg := opt.Metrics
 	if reg == nil {
 		// Private registry: Stats() always reads obs counters, instrumented
@@ -294,6 +302,15 @@ func (o *Oracle) row(ctx context.Context, src int) ([]float64, error) {
 // registered itself as the computing goroutine it always finishes and
 // publishes the row — waiters can never be stranded by a canceled computer.
 func (o *Oracle) acquireRow(ctx context.Context, src int) ([]float64, error) {
+	// Frozen rows sit in front of the cache: no lock, no LRU traffic, and
+	// no residency accounting (they are not evictable cache state), so the
+	// Resident = Misses − Evictions invariant is untouched.
+	if o.frozen != nil {
+		if row, ok := o.frozen.FrozenRow(src); ok {
+			o.hits.Add(1)
+			return row, nil
+		}
+	}
 	sh := &o.shards[src%len(o.shards)]
 	sh.mu.Lock()
 	if e, ok := sh.rows[src]; ok {
@@ -369,6 +386,12 @@ func (o *Oracle) acquireRow(ctx context.Context, src int) ([]float64, error) {
 // peek returns the row for src iff it is already resident, counting a hit
 // and refreshing its LRU position. It never waits and never computes.
 func (o *Oracle) peek(src int) ([]float64, bool) {
+	if o.frozen != nil {
+		if row, ok := o.frozen.FrozenRow(src); ok {
+			o.hits.Add(1)
+			return row, true
+		}
+	}
 	sh := &o.shards[src%len(o.shards)]
 	sh.mu.Lock()
 	e, ok := sh.rows[src]

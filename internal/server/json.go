@@ -34,6 +34,26 @@ type Info struct {
 	M           int `json:"m"`
 	MaxInflight int `json:"max_inflight"`
 	MaxPairs    int `json:"max_pairs"`
+
+	// Artifact identifies the saved artifact the replica serves from, when
+	// it was started with -load; nil for replicas that built in-process.
+	Artifact *ArtifactInfo `json:"artifact,omitempty"`
+}
+
+// ArtifactInfo is the artifact identity block of /v1/info: the determinism
+// fingerprint stored in the file plus the file's content checksum, so a
+// fleet operator (or the CI smoke job) can assert every replica answers
+// from the very same build.
+type ArtifactInfo struct {
+	Algorithm string  `json:"algorithm"`
+	Seed      uint64  `json:"seed"`
+	K         int     `json:"k"`
+	T         int     `json:"t"`
+	Gamma     float64 `json:"gamma,omitempty"`
+	Workers   int     `json:"workers"`
+	Checksum  string  `json:"checksum"`
+	Rows      int     `json:"rows"`
+	Mapped    bool    `json:"mapped"`
 }
 
 // errorBody wraps every non-2xx response.

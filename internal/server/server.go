@@ -82,6 +82,10 @@ type Config struct {
 	// MaxTimeout caps the per-request deadline a client may ask for with
 	// timeout_ms, bounding worst-case slot occupancy. <= 0 selects 30s.
 	MaxTimeout time.Duration
+
+	// Artifact, when non-nil, is reported by /v1/info so clients can verify
+	// which saved build this replica serves. Optional.
+	Artifact *ArtifactInfo
 }
 
 // Server is one stateless oracled replica: an http.Handler plus the drain
@@ -328,7 +332,8 @@ func (s *Server) retryAfter() string {
 // handleInfo is GET /v1/info: the served graph's shape plus the admission
 // limits, enough for a load generator to size a workload.
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	info := Info{MaxInflight: s.cfg.MaxInflight, MaxPairs: s.cfg.MaxPairs}
+	info := Info{MaxInflight: s.cfg.MaxInflight, MaxPairs: s.cfg.MaxPairs,
+		Artifact: s.cfg.Artifact}
 	if s.cfg.Graph != nil {
 		info.N = s.cfg.Graph.N()
 		info.M = s.cfg.Graph.M()

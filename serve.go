@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"mpcspanner/internal/apsp"
+	"mpcspanner/internal/artifact"
 	"mpcspanner/internal/core"
 	"mpcspanner/internal/oracle"
 	"mpcspanner/internal/par"
@@ -19,7 +20,14 @@ type Session struct {
 	input  *Graph
 	served *Graph
 	oracle *Oracle
-	apsp   *APSPResult // nil when serving WithExact
+	apsp   *APSPResult // nil when serving WithExact or WithArtifact
+
+	// Persistence identity: fp is what Session.Fingerprint reports and
+	// Session.Save records; art and frozen are set only for sessions
+	// loaded with WithArtifact.
+	fp     artifact.Fingerprint
+	art    *Artifact
+	frozen *artifact.Rows
 }
 
 // Serve builds a distance-serving session over g under ctx.
@@ -44,6 +52,41 @@ func Serve(ctx context.Context, g *Graph, opts ...Option) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.art != nil {
+		// Artifact serving runs no pipeline either; only the cache and
+		// observability knobs combine with it, and the graph argument must
+		// be nil — the artifact is the graph.
+		if g != nil {
+			return nil, &OptionError{Field: "mpcspanner: Artifact", Value: "(set)",
+				Reason: "pass a nil graph when serving from an artifact"}
+		}
+		for _, field := range []string{"Seed", "T", "Gamma", "Progress", "Tracer", "Exact"} {
+			if cfg.set[field] {
+				return nil, &OptionError{Field: "mpcspanner: " + field, Value: "(set)",
+					Reason: "not accepted together with WithArtifact (no build runs)"}
+			}
+		}
+		if err := core.Check(ctx); err != nil {
+			return nil, err
+		}
+		cfg.hookPoolMetrics()
+		ag := cfg.art.Graph()
+		s := &Session{input: ag, served: ag, fp: cfg.art.Fingerprint(), art: cfg.art}
+		oopts := oracle.Options{
+			Shards: cfg.shards, MaxRows: cfg.maxRows, Workers: cfg.workers,
+			Metrics: cfg.metrics,
+		}
+		if rows := artifact.RowsOf(cfg.art); rows != nil {
+			s.frozen = rows
+			oopts.Frozen = rows
+		}
+		s.oracle = oracle.New(ag, oopts)
+		return s, nil
+	}
+	if g == nil {
+		return nil, &OptionError{Field: "mpcspanner: Graph", Value: nil,
+			Reason: "Serve needs a graph (or WithArtifact)"}
+	}
 	if cfg.exact {
 		// Exact mode runs no pipeline, so the pipeline-only options would
 		// be dead weight; reject them like every other foreign option.
@@ -58,7 +101,8 @@ func Serve(ctx context.Context, g *Graph, opts ...Option) (*Session, error) {
 	if err := core.Check(ctx); err != nil {
 		return nil, err
 	}
-	s := &Session{input: g, served: g}
+	s := &Session{input: g, served: g,
+		fp: artifact.Fingerprint{Algorithm: "exact", Workers: cfg.workers}}
 	cfg.hookPoolMetrics()
 	if !cfg.exact {
 		res, err := apsp.ApproxCtx(ctx, g, apsp.Options{
@@ -71,6 +115,8 @@ func Serve(ctx context.Context, g *Graph, opts ...Option) (*Session, error) {
 		}
 		s.apsp = res
 		s.served = res.Spanner()
+		s.fp = artifact.Fingerprint{Algorithm: "apsp-mpc", Seed: cfg.seed,
+			K: res.K, T: res.T, Gamma: cfg.gamma, Workers: cfg.workers}
 		if cfg.shards == 0 && cfg.maxRows == 0 {
 			// Default cache sizing: share the pipeline result's oracle, so
 			// Session queries and APSPResult.DistancesFrom hit one cache
