@@ -4,13 +4,16 @@
 // third-party benchstat dependency.
 //
 // Convert (reads bench output from stdin; -benchmem columns, when present,
-// are recorded as bytes_per_op / allocs_per_op):
+// are recorded as bytes_per_op / allocs_per_op, and any custom
+// testing.B.ReportMetric columns — edges/s, peak_rss_bytes, mpc-rounds — land
+// in the per-benchmark "extra" map):
 //
 //	go test -run '^$' -bench . -benchtime 3x -count 3 -benchmem ./... | benchjson -out BENCH_spanner.json
 //
 // Compare (exit 1 if any benchmark present in both profiles slowed down —
-// or allocated more — by more than the threshold factor; flags must precede
-// the file arguments, as Go's flag parsing stops at the first positional):
+// allocated more, or lost custom "/s" throughput — by more than the
+// threshold factor; flags must precede the file arguments, as Go's flag
+// parsing stops at the first positional):
 //
 //	benchjson -compare -threshold 1.25 [-md summary.md] BENCH_spanner.json BENCH_new.json
 //
@@ -55,13 +58,37 @@ import (
 // Entry is one benchmark's recorded cost. HasMem marks rows measured with
 // -benchmem; when it is false BytesPerOp/AllocsPerOp hold zero values and
 // carry no meaning (profiles predating the memory schema omit all three
-// fields via omitempty).
+// fields). Extra carries every custom-unit column a benchmark reported via
+// testing.B.ReportMetric (edges/s, peak_rss_bytes, mpc-rounds, …), keyed by
+// unit; across -count samples a "/s" unit keeps its maximum (throughput:
+// higher is better) and everything else its minimum.
 type Entry struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	Samples     int     `json:"samples"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	HasMem      bool    `json:"has_mem,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	Samples     int                `json:"samples"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	HasMem      bool               `json:"has_mem,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// MarshalJSON emits the memory columns explicitly whenever the row was
+// measured with -benchmem: a 0-alloc benchmark records literal zeros instead
+// of omitting the fields, so has_mem:true rows always carry both columns —
+// an omitted column means "not measured", never "measured zero".
+func (e Entry) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		NsPerOp     float64            `json:"ns_per_op"`
+		Samples     int                `json:"samples"`
+		BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+		AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+		HasMem      bool               `json:"has_mem,omitempty"`
+		Extra       map[string]float64 `json:"extra,omitempty"`
+	}
+	w := wire{NsPerOp: e.NsPerOp, Samples: e.Samples, HasMem: e.HasMem, Extra: e.Extra}
+	if e.HasMem {
+		w.BytesPerOp, w.AllocsPerOp = &e.BytesPerOp, &e.AllocsPerOp
+	}
+	return json.Marshal(w)
 }
 
 // Profile is the serialized BENCH_*.json shape.
@@ -76,6 +103,14 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+(?:e[+-]?\
 
 // memCols matches the -benchmem suffix "... 456 B/op  7 allocs/op".
 var memCols = regexp.MustCompile(`([0-9.]+(?:e[+-]?\d+)?) B/op\s+([0-9.]+(?:e[+-]?\d+)?) allocs/op`)
+
+// extraCols matches one "value unit" column — the shape every
+// testing.B.ReportMetric metric prints in (the standard ns/op and -benchmem
+// columns match too and are filtered by name).
+var extraCols = regexp.MustCompile(`([0-9.]+(?:e[+-]?\d+)?)\s+([A-Za-z][A-Za-z0-9_./%-]*)`)
+
+// standardUnits are the columns already captured by the dedicated fields.
+var standardUnits = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true}
 
 // procSuffix strips the trailing -GOMAXPROCS decoration go test appends, so
 // profiles from machines with different core counts share keys.
@@ -166,6 +201,24 @@ func parseLines(sc *bufio.Scanner) Profile {
 				e.HasMem = true
 			}
 		}
+		for _, mm := range extraCols.FindAllStringSubmatch(line, -1) {
+			unit := mm[2]
+			if standardUnits[unit] {
+				continue
+			}
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				continue
+			}
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			old, seen := e.Extra[unit]
+			throughput := strings.HasSuffix(unit, "/s")
+			if !seen || (throughput && v > old) || (!throughput && v < old) {
+				e.Extra[unit] = v
+			}
+		}
 		e.Samples++
 		prof.Benchmarks[name] = e
 	}
@@ -195,6 +248,19 @@ type row struct {
 	hasAllocs      bool
 	timeRegressed  bool
 	allocRegressed bool
+	extras         []extraDelta // shared custom-unit metrics, sorted by unit
+	extraRegressed bool         // any "/s" unit fell below baseline/threshold
+}
+
+// extraDelta is one shared custom-unit metric's old-vs-new verdict. Only
+// throughput units ("/s" suffix: higher is better) gate — a drop such that
+// base/fresh exceeds the threshold is a regression, mirroring the ns/op rule
+// with the polarity flipped. Gauge-style units (peak_rss_bytes, mpc-rounds)
+// are carried for the report but never fail the gate.
+type extraDelta struct {
+	unit        string
+	base, fresh float64
+	regressed   bool
 }
 
 // compareProfiles builds the per-benchmark verdicts.
@@ -230,7 +296,24 @@ func compareProfiles(base, fresh Profile, threshold float64) []row {
 				r.allocRegressed = n.AllocsPerOp > allocSlack
 			}
 		}
-		if r.timeRegressed || r.allocRegressed {
+		var units []string
+		for u := range b.Extra {
+			if _, ok := n.Extra[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			d := extraDelta{unit: u, base: b.Extra[u], fresh: n.Extra[u]}
+			if strings.HasSuffix(u, "/s") && d.base > 0 {
+				d.regressed = d.fresh <= 0 || d.base/d.fresh > threshold
+			}
+			if d.regressed {
+				r.extraRegressed = true
+			}
+			r.extras = append(r.extras, d)
+		}
+		if r.timeRegressed || r.allocRegressed || r.extraRegressed {
 			r.status = "FAIL"
 		}
 		rows = append(rows, r)
@@ -276,6 +359,12 @@ func runCompare(basePath, newPath string, threshold float64, mdPath string) int 
 				line += " (ALLOC REGRESSION)"
 			}
 		}
+		for _, d := range r.extras {
+			line += fmt.Sprintf("  %s %.3g -> %.3g", d.unit, d.base, d.fresh)
+			if d.regressed {
+				line += " (THROUGHPUT REGRESSION)"
+			}
+		}
 		fmt.Println(line)
 	}
 
@@ -315,18 +404,31 @@ func markdownReport(rows []row, baseCPU, freshCPU string, threshold float64, sam
 	if !sameHW {
 		sb.WriteString("> ⚠️ Hardware mismatch — gate advisory; the baseline recalibrates on push to main.\n\n")
 	}
-	sb.WriteString("| status | benchmark | ns/op (old → new) | Δtime | allocs/op (old → new) |\n")
-	sb.WriteString("|---|---|---|---|---|\n")
+	sb.WriteString("| status | benchmark | ns/op (old → new) | Δtime | allocs/op (old → new) | custom units (old → new) |\n")
+	sb.WriteString("|---|---|---|---|---|---|\n")
 	for _, r := range rows {
 		switch r.status {
 		case "WARN":
-			fmt.Fprintf(&sb, "| ⚠️ missing | `%s` | %.0f → — | — | — |\n", r.name, r.base.NsPerOp)
+			fmt.Fprintf(&sb, "| ⚠️ missing | `%s` | %.0f → — | — | — | — |\n", r.name, r.base.NsPerOp)
 		case "NEW":
 			allocs := "—"
 			if r.fresh.HasMem {
 				allocs = fmt.Sprintf("— → %.0f", r.fresh.AllocsPerOp)
 			}
-			fmt.Fprintf(&sb, "| 🆕 new | `%s` | — → %.0f | — | %s |\n", r.name, r.fresh.NsPerOp, allocs)
+			extras := "—"
+			if len(r.fresh.Extra) > 0 {
+				var units []string
+				for u := range r.fresh.Extra {
+					units = append(units, u)
+				}
+				sort.Strings(units)
+				var parts []string
+				for _, u := range units {
+					parts = append(parts, fmt.Sprintf("%s — → %.3g", u, r.fresh.Extra[u]))
+				}
+				extras = strings.Join(parts, " · ")
+			}
+			fmt.Fprintf(&sb, "| 🆕 new | `%s` | — → %.0f | — | %s | %s |\n", r.name, r.fresh.NsPerOp, allocs, extras)
 		default:
 			icon := "✅"
 			if r.status == "FAIL" {
@@ -339,8 +441,20 @@ func markdownReport(rows []row, baseCPU, freshCPU string, threshold float64, sam
 					allocs += " ❌"
 				}
 			}
-			fmt.Fprintf(&sb, "| %s | `%s` | %.0f → %.0f | %.2fx | %s |\n",
-				icon, r.name, r.base.NsPerOp, r.fresh.NsPerOp, r.ratio, allocs)
+			extras := "—"
+			if len(r.extras) > 0 {
+				var parts []string
+				for _, d := range r.extras {
+					part := fmt.Sprintf("%s %.3g → %.3g", d.unit, d.base, d.fresh)
+					if d.regressed {
+						part += " ❌"
+					}
+					parts = append(parts, part)
+				}
+				extras = strings.Join(parts, " · ")
+			}
+			fmt.Fprintf(&sb, "| %s | `%s` | %.0f → %.0f | %.2fx | %s | %s |\n",
+				icon, r.name, r.base.NsPerOp, r.fresh.NsPerOp, r.ratio, allocs, extras)
 		}
 	}
 	return sb.String()

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -46,6 +47,119 @@ func TestParseRecordsMemColumnsAndMinimum(t *testing.T) {
 	old := prof.Benchmarks["BenchmarkOldSchema"]
 	if old.HasMem {
 		t.Errorf("row without -benchmem columns must not claim mem data: %+v", old)
+	}
+}
+
+func TestParseCapturesCustomUnits(t *testing.T) {
+	// Two samples of a ReportMetric-instrumented benchmark: throughput
+	// ("/s") keeps the max across samples, gauges keep the min, and the
+	// standard columns never leak into Extra.
+	bench := `cpu: fake
+BenchmarkSSSP/n=1M/engine=delta/workers=0-8   1   670570688 ns/op   17900000 edges/s   839282688 peak_rss_bytes   120 B/op   3 allocs/op
+BenchmarkSSSP/n=1M/engine=delta/workers=0-8   1   680000000 ns/op   17500000 edges/s   839000000 peak_rss_bytes   120 B/op   3 allocs/op
+BenchmarkPlain-8                              5     1000000 ns/op   10 B/op   1 allocs/op
+`
+	prof := parseString(t, bench)
+	e := prof.Benchmarks["BenchmarkSSSP/n=1M/engine=delta/workers=0"]
+	if e.Extra["edges/s"] != 17900000 {
+		t.Errorf("edges/s = %v, want the 17900000 maximum (higher is better)", e.Extra["edges/s"])
+	}
+	if e.Extra["peak_rss_bytes"] != 839000000 {
+		t.Errorf("peak_rss_bytes = %v, want the 839000000 minimum", e.Extra["peak_rss_bytes"])
+	}
+	for _, std := range []string{"ns/op", "B/op", "allocs/op"} {
+		if _, ok := e.Extra[std]; ok {
+			t.Errorf("standard unit %q leaked into Extra: %v", std, e.Extra)
+		}
+	}
+	if len(e.Extra) != 2 {
+		t.Errorf("Extra = %v, want exactly edges/s and peak_rss_bytes", e.Extra)
+	}
+	if plain := prof.Benchmarks["BenchmarkPlain"]; plain.Extra != nil {
+		t.Errorf("benchmark without custom columns must keep Extra nil, got %v", plain.Extra)
+	}
+	// The long-standing mpc-rounds column rides the same path.
+	rounds := parseString(t, sampleBench).Benchmarks["BenchmarkMPCBuild/n=20k/k=16/t=4/workers=1"]
+	if rounds.Extra["mpc-rounds"] != 147 {
+		t.Errorf("mpc-rounds = %v, want 147", rounds.Extra["mpc-rounds"])
+	}
+}
+
+func TestMarshalEmitsExplicitMemZeros(t *testing.T) {
+	// A 0-alloc -benchmem row must serialize literal zeros: an omitted
+	// column means "not measured", never "measured zero".
+	data, err := json.Marshal(Entry{NsPerOp: 5, Samples: 3, HasMem: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"bytes_per_op":0`, `"allocs_per_op":0`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("has_mem entry missing %s: %s", want, data)
+		}
+	}
+	// Rows without mem data still omit the columns entirely.
+	data, err = json.Marshal(Entry{NsPerOp: 5, Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ban := range []string{"bytes_per_op", "allocs_per_op", "has_mem"} {
+		if strings.Contains(string(data), ban) {
+			t.Errorf("no-mem entry must omit %s: %s", ban, data)
+		}
+	}
+	// Round trip: explicit zeros decode back as measured.
+	var e Entry
+	if err := json.Unmarshal([]byte(`{"ns_per_op":5,"samples":3,"bytes_per_op":0,"allocs_per_op":0,"has_mem":true}`), &e); err != nil {
+		t.Fatal(err)
+	}
+	if !e.HasMem || e.AllocsPerOp != 0 {
+		t.Errorf("round-tripped entry = %+v", e)
+	}
+}
+
+func TestCompareGatesThroughputUnits(t *testing.T) {
+	base := mkProfile("x", map[string]Entry{
+		"BenchmarkDrop":  {NsPerOp: 100, Extra: map[string]float64{"edges/s": 1e7}},
+		"BenchmarkHold":  {NsPerOp: 100, Extra: map[string]float64{"edges/s": 1e7}},
+		"BenchmarkGauge": {NsPerOp: 100, Extra: map[string]float64{"peak_rss_bytes": 1e6}},
+		"BenchmarkMixed": {NsPerOp: 100, Extra: map[string]float64{"edges/s": 1e7, "peak_rss_bytes": 1e6}},
+	})
+	fresh := mkProfile("x", map[string]Entry{
+		"BenchmarkDrop":  {NsPerOp: 100, Extra: map[string]float64{"edges/s": 5e6}},
+		"BenchmarkHold":  {NsPerOp: 100, Extra: map[string]float64{"edges/s": 9e6}},
+		"BenchmarkGauge": {NsPerOp: 100, Extra: map[string]float64{"peak_rss_bytes": 1e9}},
+		"BenchmarkMixed": {NsPerOp: 100, Extra: map[string]float64{"edges/s": 9.9e6, "peak_rss_bytes": 2e6}},
+	})
+	rows := compareProfiles(base, fresh, 1.25)
+	got := map[string]row{}
+	for _, r := range rows {
+		got[r.name] = r
+	}
+	if r := got["BenchmarkDrop"]; r.status != "FAIL" || !r.extraRegressed {
+		t.Errorf("2x edges/s drop must fail: %+v", r)
+	}
+	if r := got["BenchmarkHold"]; r.status != "ok" {
+		t.Errorf("10%% edges/s drop is within the 1.25x threshold: %+v", r)
+	}
+	if r := got["BenchmarkGauge"]; r.status != "ok" || r.extraRegressed {
+		t.Errorf("gauge units (peak_rss_bytes) must never gate: %+v", r)
+	}
+	if r := got["BenchmarkMixed"]; r.status != "ok" || len(r.extras) != 2 {
+		t.Errorf("mixed row must carry both units and pass: %+v", r)
+	}
+	// Throughput collapsing to zero regresses regardless of threshold.
+	zb := mkProfile("x", map[string]Entry{"BenchmarkDead": {NsPerOp: 1, Extra: map[string]float64{"edges/s": 1e7}}})
+	zf := mkProfile("x", map[string]Entry{"BenchmarkDead": {NsPerOp: 1, Extra: map[string]float64{"edges/s": 0}}})
+	if zr := compareProfiles(zb, zf, 100)[0]; zr.status != "FAIL" {
+		t.Errorf("throughput hitting zero must fail even at threshold 100: %+v", zr)
+	}
+	// The markdown table renders the shared units with the failure marker.
+	md := markdownReport(rows, "x", "x", 1.25, true)
+	if !strings.Contains(md, "edges/s 1e+07 → 5e+06 ❌") {
+		t.Errorf("markdown report missing the regressed edges/s cell:\n%s", md)
+	}
+	if !strings.Contains(md, "custom units") {
+		t.Errorf("markdown header missing the custom-units column:\n%s", md)
 	}
 }
 

@@ -50,6 +50,7 @@ func main() {
 	shards := flag.Int("shards", 0, "cache shards (0 = default)")
 	rows := flag.Int("rows", 0, "cache budget in resident rows (0 = default)")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = NumCPU)")
+	sscfg := cliutil.SSSPFlags(flag.CommandLine)
 	batch := flag.Int("batch", 1024, "serve queries in batches of this size (stats then show cross-batch cache hits); <= 0 = one batch")
 	quiet := flag.Bool("quiet", false, "suppress per-query output, print stats only")
 	listen := flag.String("listen", "", "serve live /metrics and /debug/pprof on this address while running (e.g. :9090)")
@@ -150,9 +151,17 @@ func main() {
 			time.Since(start).Round(time.Millisecond))
 	}
 
+	engine, err := sscfg.Engine()
+	if err != nil {
+		log.Fatal(err)
+	}
 	cacheOpts := []mpcspanner.Option{
 		mpcspanner.WithCacheShards(*shards), mpcspanner.WithCacheRows(*rows),
 		mpcspanner.WithWorkers(*workers), mpcspanner.WithMetrics(reg),
+		mpcspanner.WithSSSP(engine),
+	}
+	if sscfg.Delta != 0 {
+		cacheOpts = append(cacheOpts, mpcspanner.WithDelta(sscfg.Delta))
 	}
 	var s *mpcspanner.Session
 	if art != nil {
@@ -164,6 +173,18 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	sssp := s.SSSP()
+	fmt.Fprintf(os.Stderr, "sssp: engine=%s delta=%g\n", sssp.Engine, sssp.Delta)
+	if *listen != "" {
+		// Advertise the resolved engine on the -listen mux so fleet operators
+		// can confirm replicas agree, mirroring oracled's /v1/info block.
+		// Registered after the session resolves it, so the handler never
+		// races session creation; until then the path simply 404s.
+		http.HandleFunc("/sssp", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"engine\":%q,\"delta\":%g}\n", sssp.Engine, sssp.Delta)
+		})
 	}
 
 	bs := *batch

@@ -53,9 +53,19 @@ type Options struct {
 	Progress func(core.ProgressEvent)
 
 	// Metrics, when non-nil, instruments the whole pipeline on one registry:
-	// the simulated build (mpc_* series) and the serving oracle created by
-	// Result.Oracle() (oracle_* series). nil runs uninstrumented.
+	// the simulated build (mpc_* series), the serving oracle created by
+	// Result.Oracle() (oracle_* series), and its row-fill engine (dist_*
+	// series). nil runs uninstrumented.
 	Metrics *obs.Registry
+
+	// SSSP selects the row-fill engine of the serving oracle and the
+	// full-row stretch measurers (Measure, MeasureCDF): dist.EngineAuto — the
+	// zero value — resolves by graph size. Purely a speed knob: every engine
+	// is bit-identical (dist exactness contract).
+	SSSP dist.Engine
+
+	// Delta overrides the delta-stepping bucket width; ≤ 0 auto-tunes.
+	Delta float64
 }
 
 // Result is a completed Corollary 1.4 run.
@@ -77,6 +87,8 @@ type Result struct {
 	spanner *graph.Graph
 	workers int           // serving-side pool size (par conventions)
 	metrics *obs.Registry // carried into the shared oracle (may be nil)
+	sssp    dist.Engine   // row-fill engine for the oracle and measurers
+	delta   float64       // delta-stepping width override (≤ 0 auto)
 
 	oracleOnce sync.Once
 	oracle     *oracle.Oracle
@@ -160,6 +172,8 @@ func ApproxCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error
 		spanner:          g.Subgraph(build.EdgeIDs),
 		workers:          opt.Workers,
 		metrics:          opt.Metrics,
+		sssp:             opt.SSSP,
+		delta:            opt.Delta,
 	}
 	if opt.Progress != nil {
 		opt.Progress(core.ProgressEvent{Stage: "collect", Algorithm: "apsp",
@@ -197,7 +211,7 @@ func (r *Result) Oracle() *oracle.Oracle {
 			rows = 1024
 		}
 		r.oracle = oracle.New(r.spanner, oracle.Options{MaxRows: rows, Workers: r.workers,
-			Metrics: r.metrics})
+			Metrics: r.metrics, SSSP: r.sssp, Delta: r.delta})
 	})
 	return r.oracle
 }
@@ -218,13 +232,17 @@ func (r *Result) DistancesFrom(v int) []float64 {
 func (r *Result) Matrix() [][]float64 { return dist.APSP(r.spanner) }
 
 // Measure samples the pairwise approximation ratio dist_H/dist_G over
-// `sources` Dijkstra sources.
+// `sources` full-row fills, run on the configured SSSP engine.
 func (r *Result) Measure(sources int, seed uint64) (dist.StretchReport, error) {
-	return dist.PairStretch(r.g, r.spanner, sources, seed)
+	return dist.PairStretchOpts(r.g, r.spanner, sources, seed, r.solverOptions())
 }
 
 // MeasureCDF returns empirical quantiles of the pairwise approximation
 // distribution (experiment F3).
 func (r *Result) MeasureCDF(sources int, quantiles []float64, seed uint64) ([]float64, error) {
-	return dist.StretchCDF(r.g, r.spanner, sources, quantiles, seed)
+	return dist.StretchCDFOpts(r.g, r.spanner, sources, quantiles, seed, r.solverOptions())
+}
+
+func (r *Result) solverOptions() dist.SolverOptions {
+	return dist.SolverOptions{Engine: r.sssp, Delta: r.delta, Workers: r.workers, Metrics: r.metrics}
 }

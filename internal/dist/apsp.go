@@ -8,11 +8,13 @@ import (
 	"mpcspanner/internal/graph"
 )
 
-// APSP materializes the full all-pairs distance matrix of g: row v is
-// Dijkstra(g, v). Sources are fanned out over a worker pool of
+// APSP materializes the full all-pairs distance matrix of g: row v is the
+// exact distance row from v. Sources are fanned out over a worker pool of
 // runtime.NumCPU() goroutines — the Graph is immutable and safe for
-// concurrent readers, so the rows are embarrassingly parallel, and each
-// worker's runs draw their frontier heaps from the per-size scratch pool,
+// concurrent readers, so the rows are embarrassingly parallel. Each row is
+// filled by a shared Solver (EngineAuto: delta-stepping at scale, the pooled
+// heap below it) with within-source workers pinned to 1, since the
+// across-source fan-out already saturates the cores; per-run state is pooled,
 // so a row costs exactly its own n-float allocation. Memory is n²; this is
 // for verification-scale graphs, as the §7 pipeline notes.
 func APSP(g *graph.Graph) [][]float64 {
@@ -23,8 +25,9 @@ func APSP(g *graph.Graph) [][]float64 {
 // serial loop. Split out so the benchmarks can pin the pool size and track
 // the parallel speedup.
 func apspWorkers(g *graph.Graph, workers int) [][]float64 {
+	s := NewSolver(g, SolverOptions{Workers: 1})
 	m := make([][]float64, g.N())
-	forWorkers(g.N(), workers, func(v int) { m[v] = Dijkstra(g, v) })
+	forWorkers(g.N(), workers, func(v int) { m[v] = s.Row(v) })
 	return m
 }
 

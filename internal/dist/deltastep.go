@@ -1,0 +1,531 @@
+package dist
+
+// This file is the delta-stepping SSSP engine (Meyer & Sanders 2003): the
+// bucketed, within-source-parallel replacement for the binary-heap Dijkstra
+// on every path that needs a *full* distance row — oracle cold fills, APSP
+// materialization, the pair-stretch estimators. The heap stays behind two
+// paths on purpose: dijkstraTo early-exits after settling a few targets
+// (delta-stepping has no cheap early exit — it settles a whole bucket at a
+// time), and MultiSourceDijkstra's nearest-source attribution breaks ties by
+// heap pop order, an order delta-stepping does not reproduce.
+//
+// Exactness: with strictly positive weights every label-correcting schedule
+// — heap order, bucket order, any order that keeps relaxing until no edge
+// improves — converges to the same fixpoint: d[v] = min over all src→v paths
+// of the left-to-right float64 sum of the path's weights. Float addition of
+// non-negative values is monotone, so relaxation order changes which
+// intermediate labels a vertex holds but never the final minimum. The final
+// row is therefore bit-identical to heap Dijkstra's at every worker count —
+// the equality the deltastep tests pin. (Intermediate work — relaxation
+// counts, bucket population — is scheduling-dependent at workers > 1; only
+// the distances are deterministic.)
+//
+// Bucket structure: tentative distances are binned into buckets of width Δ,
+// kept in a cyclic array of B = ⌊maxW/Δ⌋+3 slots. The window bound: every
+// insertion while bucket `cur` is active carries a distance in
+// [cur·Δ, cur·Δ + maxW + Δ), so live entries span at most ⌊maxW/Δ⌋+2
+// consecutive buckets and the cyclic array never aliases two live bins (the
+// +3 includes one slot of slack for float rounding at bucket edges). Emptied
+// bucket slices are recycled through a free list — lazy bucket recycling —
+// so steady-state bucket traffic allocates nothing.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/obs"
+	"mpcspanner/internal/par"
+)
+
+// Engine selects the single-source shortest-path algorithm behind full-row
+// fills. All engines produce bit-identical rows; they differ only in speed.
+type Engine uint8
+
+const (
+	// EngineAuto picks delta-stepping at scale (n ≥ deltaAutoMinN) and the
+	// pooled heap below it, where bucket bookkeeping costs more than the
+	// heap's log factor saves.
+	EngineAuto Engine = iota
+	// EngineHeap forces the pooled 4-ary-heap Dijkstra.
+	EngineHeap
+	// EngineDelta forces bucketed delta-stepping.
+	EngineDelta
+)
+
+// String returns the wire/CLI name of the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineHeap:
+		return "heap"
+	case EngineDelta:
+		return "delta-stepping"
+	default:
+		return fmt.Sprintf("engine(%d)", uint8(e))
+	}
+}
+
+// ParseEngine maps a CLI/wire name back to an Engine. "delta" is accepted as
+// shorthand for "delta-stepping".
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "auto":
+		return EngineAuto, nil
+	case "heap":
+		return EngineHeap, nil
+	case "delta", "delta-stepping":
+		return EngineDelta, nil
+	}
+	return EngineAuto, fmt.Errorf("dist: unknown SSSP engine %q (want auto, heap, or delta-stepping)", s)
+}
+
+const (
+	// deltaAutoMinN is the vertex count at which EngineAuto switches from the
+	// heap to delta-stepping: below it a full row settles in microseconds and
+	// the split/bucket setup dominates.
+	deltaAutoMinN = 1 << 15
+
+	// maxDeltaBuckets caps the cyclic bucket array. A Δ so small that
+	// ⌊maxW/Δ⌋+3 exceeds the cap is raised to the smallest Δ that fits —
+	// protecting against pathological widths without unbounded memory.
+	maxDeltaBuckets = 1 << 20
+
+	// parRelaxCutoff mirrors par's serial cutoff: frontiers below it relax on
+	// the calling goroutine without atomics, so the many tiny phases of a
+	// sparse run never pay CAS or dispatch overhead.
+	parRelaxCutoff = 256
+)
+
+// SolverOptions configures NewSolver. The zero value selects EngineAuto with
+// the auto-tuned Δ, GOMAXPROCS workers, and no instrumentation.
+type SolverOptions struct {
+	// Engine selects the algorithm; EngineAuto resolves by graph size.
+	Engine Engine
+
+	// Delta is the bucket width for delta-stepping. Values ≤ 0 (and NaN/Inf)
+	// select the auto heuristic Δ = (average edge weight) / (average degree):
+	// wider buckets on heavy edges amortize phase overhead, narrower buckets
+	// on dense graphs bound re-relaxation within a bucket. The width is
+	// clamped up if the implied bucket array would exceed maxDeltaBuckets.
+	Delta float64
+
+	// Workers is the within-source parallelism: 0 selects GOMAXPROCS, 1 the
+	// serial (atomics-free) path. Negative values clamp to 1 (callers
+	// validate at their option boundary; see par.CheckWorkers).
+	Workers int
+
+	// Metrics, when non-nil, exposes the dist_* series: row counts and
+	// latencies (dist_sssp_rows_total, dist_sssp_row_seconds) plus the
+	// delta-stepping internals (dist_delta_relaxations_total,
+	// dist_delta_buckets_total, dist_delta_light_phases_total and the
+	// per-phase dist_delta_{light,heavy}_seconds histograms). When nil the
+	// fill path reads no clocks, mirroring the oracle's discipline.
+	Metrics *obs.Registry
+}
+
+// Solver answers full single-source distance rows over one frozen graph,
+// with the engine, Δ, and worker count resolved once at construction. The
+// light/heavy edge split is precomputed per CSR adjacency at construction;
+// per-run state (buckets, marks, per-shard insert buffers) is drawn from a
+// per-Solver sync.Pool, so steady-state rows allocate nothing beyond the row
+// itself. A Solver is safe for concurrent use.
+type Solver struct {
+	g       *graph.Graph
+	engine  Engine  // resolved: EngineHeap or EngineDelta, never EngineAuto
+	delta   float64 // effective bucket width; 0 when the engine is the heap
+	invDel  float64 // 1/delta, so bucketOf multiplies instead of divides
+	buckets int     // cyclic bucket array length B
+	workers int     // resolved within-source worker count, ≥ 1
+
+	// Light/heavy CSR split: arc i of vertex v lives at lightOff[v] ≤ i <
+	// lightOff[v+1] (weight ≤ Δ) or the heavy mirror (> Δ). Targets and
+	// weights are split into parallel arrays — 12 bytes per arc, scanned
+	// linearly — instead of re-deriving weights through g.Edge on every
+	// relaxation.
+	lightOff, heavyOff []int32
+	lightTo, heavyTo   []int32
+	lightW, heavyW     []float64
+
+	pool sync.Pool // *deltaScratch
+
+	// Metric handles; nil (and never touched) without SolverOptions.Metrics.
+	rows, relaxations, bucketsDone, lightPhases *obs.Counter
+	rowSeconds, lightSeconds, heavySeconds      *obs.Histogram
+}
+
+// NewSolver resolves the options against g and precomputes the edge split.
+// The graph must be frozen; the solver holds a reference, not a copy.
+func NewSolver(g *graph.Graph, opt SolverOptions) *Solver {
+	s := &Solver{g: g, workers: par.Workers(opt.Workers)}
+	s.engine = opt.Engine
+	if s.engine == EngineAuto {
+		if g.N() >= deltaAutoMinN && g.M() > 0 {
+			s.engine = EngineDelta
+		} else {
+			s.engine = EngineHeap
+		}
+	}
+	if opt.Metrics != nil {
+		s.rows = opt.Metrics.Counter("dist_sssp_rows_total")
+		s.rowSeconds = opt.Metrics.Histogram("dist_sssp_row_seconds", obs.LatencyBuckets)
+	}
+	if s.engine != EngineDelta {
+		return s
+	}
+
+	// Edge statistics for the auto heuristic and the bucket window bound.
+	m := g.M()
+	maxW, sumW := 0.0, 0.0
+	for i := 0; i < m; i++ {
+		w := g.Edge(i).W
+		sumW += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	delta := opt.Delta
+	if !(delta > 0) || math.IsInf(delta, 1) { // ≤0, NaN, +Inf: auto-tune
+		if m > 0 && g.N() > 0 {
+			avgW := sumW / float64(m)
+			avgDeg := 2 * float64(m) / float64(g.N())
+			delta = avgW / avgDeg
+		}
+		if !(delta > 0) || math.IsInf(delta, 1) {
+			delta = 1 // edgeless or degenerate graph: any width works
+		}
+	}
+	if b := int64(maxW/delta) + 3; b > maxDeltaBuckets {
+		delta = maxW / float64(maxDeltaBuckets-3)
+	}
+	s.delta = delta
+	s.invDel = 1 / delta
+	s.buckets = int(int64(maxW/delta) + 3)
+
+	// Split every adjacency into light (w ≤ Δ) and heavy (w > Δ) runs:
+	// counting pass builds the offsets, fill pass scatters targets and
+	// weights. The fill is index-addressed per vertex, so sharding it is
+	// deterministic.
+	n := g.N()
+	s.lightOff = make([]int32, n+1)
+	s.heavyOff = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		var l, h int32
+		for _, a := range g.Adj(v) {
+			if g.Edge(a.Edge).W <= delta {
+				l++
+			} else {
+				h++
+			}
+		}
+		s.lightOff[v+1] = s.lightOff[v] + l
+		s.heavyOff[v+1] = s.heavyOff[v] + h
+	}
+	s.lightTo = make([]int32, s.lightOff[n])
+	s.lightW = make([]float64, s.lightOff[n])
+	s.heavyTo = make([]int32, s.heavyOff[n])
+	s.heavyW = make([]float64, s.heavyOff[n])
+	par.ForShard(s.workers, n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			li, hi2 := s.lightOff[v], s.heavyOff[v]
+			for _, a := range g.Adj(v) {
+				w := g.Edge(a.Edge).W
+				if w <= delta {
+					s.lightTo[li] = int32(a.To)
+					s.lightW[li] = w
+					li++
+				} else {
+					s.heavyTo[hi2] = int32(a.To)
+					s.heavyW[hi2] = w
+					hi2++
+				}
+			}
+		}
+	})
+
+	if opt.Metrics != nil {
+		s.relaxations = opt.Metrics.Counter("dist_delta_relaxations_total")
+		s.bucketsDone = opt.Metrics.Counter("dist_delta_buckets_total")
+		s.lightPhases = opt.Metrics.Counter("dist_delta_light_phases_total")
+		s.lightSeconds = opt.Metrics.Histogram("dist_delta_light_seconds", obs.LatencyBuckets)
+		s.heavySeconds = opt.Metrics.Histogram("dist_delta_heavy_seconds", obs.LatencyBuckets)
+	}
+	return s
+}
+
+// Engine returns the resolved engine (never EngineAuto).
+func (s *Solver) Engine() Engine { return s.engine }
+
+// Delta returns the effective bucket width, or 0 when the engine is the heap.
+func (s *Solver) Delta() float64 { return s.delta }
+
+// Workers returns the resolved within-source worker count.
+func (s *Solver) Workers() int { return s.workers }
+
+// Row returns the full distance row from src; unreachable vertices get Inf.
+// The returned slice is freshly allocated and caller-owned.
+func (s *Solver) Row(src int) []float64 { return s.RowInto(src, nil) }
+
+// RowInto is Row writing into d, which is returned. A d of the wrong length
+// (nil included) is replaced by a fresh allocation; a reused g.N()-sized
+// buffer makes the steady-state call allocation-free. It panics if src is
+// not a vertex, matching DijkstraInto.
+func (s *Solver) RowInto(src int, d []float64) []float64 {
+	if n := s.g.N(); len(d) != n {
+		d = make([]float64, n)
+	}
+	if s.rowSeconds == nil {
+		s.fill(src, d)
+		return d
+	}
+	start := time.Now()
+	s.fill(src, d)
+	s.rowSeconds.Observe(time.Since(start).Seconds())
+	return d
+}
+
+func (s *Solver) fill(src int, d []float64) {
+	if s.engine == EngineHeap {
+		DijkstraInto(s.g, src, d)
+	} else {
+		s.runDelta(src, d)
+	}
+	if s.rows != nil {
+		s.rows.Add(1)
+	}
+}
+
+// deltaScratch is the pooled per-run state of one delta-stepping execution.
+type deltaScratch struct {
+	buckets [][]int32 // cyclic bucket array, indexed cur mod B; nil = empty
+	free    [][]int32 // recycled bucket backing stores
+	fr      []int32   // current light frontier (stale-filtered take)
+	r       []int32   // vertices settled in the active bucket (heavy phase input)
+
+	// Queue state, epoch-stamped so rows never memset O(n) arrays: vertex v
+	// has a live bucket entry iff qmark[v] == qgen and qbucket[v] ≥ 0, and
+	// that entry sits at bucket qbucket[v]. Keeping at most one live entry
+	// per (vertex, bucket) is what bounds duplicate processing.
+	qmark   []uint32
+	qbucket []int64
+	qgen    uint32
+
+	// R-membership epoch: rmark[v] == rgen ⇔ v already collected into r for
+	// the active bucket, so its heavy arcs relax once per bucket.
+	rmark []uint32
+	rgen  uint32
+
+	ins     [][]int32 // per-shard insert buffers for the parallel relax path
+	pending int64     // live bucket entries; 0 ⇔ done
+
+	// Local metric accumulators, flushed once per row (Add per edge would be
+	// an atomic per relaxation).
+	nRelax, nBuckets, nLight int64
+}
+
+func (s *Solver) getScratch() *deltaScratch {
+	if sc, ok := s.pool.Get().(*deltaScratch); ok {
+		return sc
+	}
+	n := s.g.N()
+	return &deltaScratch{
+		buckets: make([][]int32, s.buckets),
+		qmark:   make([]uint32, n),
+		qbucket: make([]int64, n),
+		rmark:   make([]uint32, n),
+	}
+}
+
+// bucketOf bins a finite tentative distance. Multiplication by 1/Δ is
+// monotone (float rounding preserves ≤), which is all the algorithm needs:
+// improvements never move a vertex to a later bucket, and relaxations from
+// bucket cur never land before cur.
+func (s *Solver) bucketOf(x float64) int64 { return int64(x * s.invDel) }
+
+// enqueue records v's live entry at bucket b, skipping the append when an
+// entry for exactly (v, b) is already live.
+func (sc *deltaScratch) enqueue(v int32, b int64, nbuckets int) {
+	if sc.qmark[v] == sc.qgen && sc.qbucket[v] == b {
+		return
+	}
+	sc.qmark[v] = sc.qgen
+	sc.qbucket[v] = b
+	i := int(b % int64(nbuckets))
+	if sc.buckets[i] == nil {
+		if k := len(sc.free); k > 0 {
+			sc.buckets[i] = sc.free[k-1]
+			sc.free = sc.free[:k-1]
+		} else {
+			sc.buckets[i] = make([]int32, 0, 64)
+		}
+	}
+	sc.buckets[i] = append(sc.buckets[i], v)
+	sc.pending++
+}
+
+// runDelta fills d with the exact distance row from src.
+func (s *Solver) runDelta(src int, d []float64) {
+	for i := range d {
+		d[i] = Inf
+	}
+	d[src] = 0
+	sc := s.getScratch()
+	sc.qgen++
+	if sc.qgen == 0 { // epoch wrapped: invalidate stale stamps
+		clear(sc.qmark)
+		sc.qgen = 1
+	}
+	sc.pending = 0
+	sc.enqueue(int32(src), 0, s.buckets)
+
+	// The parallel path CASes distances as uint64 bit patterns; for the
+	// non-negative values Dijkstra produces the float and bit orders agree.
+	var du []uint64
+	if s.workers > 1 && len(d) > 0 {
+		du = unsafe.Slice((*uint64)(unsafe.Pointer(&d[0])), len(d))
+	}
+
+	cur := int64(0)
+	for sc.pending > 0 {
+		for len(sc.buckets[cur%int64(s.buckets)]) == 0 {
+			cur++
+		}
+		// Light loop: drain bucket cur until it stays empty. Relaxing a light
+		// edge can refill the active bucket (w ≤ Δ keeps nd in the same bin),
+		// so re-taking until stable is what settles the bucket exactly.
+		sc.rgen++
+		if sc.rgen == 0 {
+			clear(sc.rmark)
+			sc.rgen = 1
+		}
+		sc.r = sc.r[:0]
+		var phaseStart time.Time
+		if s.lightSeconds != nil {
+			phaseStart = time.Now()
+		}
+		for {
+			i := int(cur % int64(s.buckets))
+			take := sc.buckets[i]
+			if len(take) == 0 {
+				break
+			}
+			sc.buckets[i] = nil
+			sc.pending -= int64(len(take))
+			// Serial pre-filter: drop stale entries (the vertex has moved to
+			// an earlier bucket and was or will be settled there), release
+			// the live-entry stamp, and collect first-time vertices into R.
+			fr := sc.fr[:0]
+			for _, v := range take {
+				if s.bucketOf(d[v]) != cur {
+					continue
+				}
+				if sc.qmark[v] == sc.qgen && sc.qbucket[v] == cur {
+					sc.qbucket[v] = -1
+				}
+				if sc.rmark[v] != sc.rgen {
+					sc.rmark[v] = sc.rgen
+					sc.r = append(sc.r, v)
+				}
+				fr = append(fr, v)
+			}
+			sc.fr = fr
+			sc.free = append(sc.free, take[:0])
+			s.relax(sc, d, du, fr, s.lightOff, s.lightTo, s.lightW)
+			sc.nLight++
+		}
+		if s.lightSeconds != nil {
+			s.lightSeconds.Observe(time.Since(phaseStart).Seconds())
+			phaseStart = time.Now()
+		}
+		// Heavy phase: every vertex settled in this bucket relaxes its heavy
+		// arcs once, with its final distance. Heavy targets land in later
+		// buckets (w > Δ), except at most one bucket of float-rounding slack
+		// — if that lands back in cur, the outer loop re-enters the light
+		// loop for cur before advancing, so nothing is stranded.
+		s.relax(sc, d, du, sc.r, s.heavyOff, s.heavyTo, s.heavyW)
+		if s.heavySeconds != nil {
+			s.heavySeconds.Observe(time.Since(phaseStart).Seconds())
+		}
+		sc.nBuckets++
+	}
+
+	if s.rows != nil {
+		s.relaxations.Add(sc.nRelax)
+		s.bucketsDone.Add(sc.nBuckets)
+		s.lightPhases.Add(sc.nLight)
+	}
+	sc.nRelax, sc.nBuckets, sc.nLight = 0, 0, 0
+	s.pool.Put(sc)
+}
+
+// relax applies one relaxation pass of the given CSR split (light or heavy)
+// over list. Small frontiers — and the whole run at workers == 1 — take the
+// serial path: plain loads and stores, no atomics. Large frontiers shard
+// across workers: distances improve via CAS-min, each shard records its
+// winning targets in its own insert buffer, and the buffers merge serially
+// in shard order (deterministic bucket contents are not required — only the
+// final distances are — but the serial merge keeps the queue bookkeeping
+// single-writer). Relaxation *counts* at workers > 1 depend on CAS races and
+// are therefore approximate; distances are not.
+func (s *Solver) relax(sc *deltaScratch, d []float64, du []uint64, list []int32, off, to []int32, w []float64) {
+	if s.workers == 1 || len(list) < parRelaxCutoff {
+		for _, v := range list {
+			dv := d[v]
+			end := off[v+1]
+			for i := off[v]; i < end; i++ {
+				u := to[i]
+				nd := dv + w[i]
+				if nd < d[u] {
+					d[u] = nd
+					sc.nRelax++
+					sc.enqueue(u, s.bucketOf(nd), s.buckets)
+				}
+			}
+		}
+		return
+	}
+	shards := par.ShardCount(s.workers, len(list))
+	for len(sc.ins) < shards {
+		sc.ins = append(sc.ins, nil)
+	}
+	par.ForShard(s.workers, len(list), func(shard, lo, hi int) {
+		buf := sc.ins[shard][:0]
+		for _, v := range list[lo:hi] {
+			dv := math.Float64frombits(atomic.LoadUint64(&du[v]))
+			end := off[v+1]
+			for i := off[v]; i < end; i++ {
+				u := to[i]
+				if casMin(&du[u], dv+w[i]) {
+					buf = append(buf, u)
+				}
+			}
+		}
+		sc.ins[shard] = buf
+	})
+	for _, buf := range sc.ins[:shards] {
+		for _, u := range buf {
+			sc.nRelax++
+			sc.enqueue(u, s.bucketOf(d[u]), s.buckets)
+		}
+	}
+}
+
+// casMin lowers the float64 at addr to nd if nd is smaller, spinning through
+// concurrent improvements. Returns whether this call won an improvement.
+func casMin(addr *uint64, nd float64) bool {
+	bits := math.Float64bits(nd)
+	for {
+		old := atomic.LoadUint64(addr)
+		if math.Float64frombits(old) <= nd {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, bits) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mpcspanner/internal/graph"
+	"mpcspanner/internal/obs"
+)
+
+// deltaWorkerCounts are the worker counts the exactness contract is pinned
+// at: serial, a small fixed pool, and GOMAXPROCS.
+var deltaWorkerCounts = []int{1, 3, 0}
+
+// requireRowEqual asserts bit-identity (not tolerance) between two rows.
+// Both engines converge to the same float64 fixpoint — the minimum over all
+// paths of the left-to-right float sum — so any difference is a bug.
+func requireRowEqual(t *testing.T, want, got []float64, ctx string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: row length %d != %d", ctx, len(got), len(want))
+	}
+	for v := range want {
+		if math.Float64bits(want[v]) != math.Float64bits(got[v]) {
+			t.Fatalf("%s: d[%d] = %v (bits %x), heap Dijkstra says %v (bits %x)",
+				ctx, v, got[v], math.Float64bits(got[v]), want[v], math.Float64bits(want[v]))
+		}
+	}
+}
+
+// checkAllSources compares delta-stepping against heap Dijkstra from every
+// source (or a stride of sources for larger graphs) at every pinned worker
+// count.
+func checkAllSources(t *testing.T, g *graph.Graph, name string, delta float64) {
+	t.Helper()
+	stride := 1
+	if g.N() > 64 {
+		stride = g.N() / 64
+	}
+	for _, workers := range deltaWorkerCounts {
+		s := NewSolver(g, SolverOptions{Engine: EngineDelta, Delta: delta, Workers: workers})
+		if s.Engine() != EngineDelta {
+			t.Fatalf("%s: explicit EngineDelta resolved to %v", name, s.Engine())
+		}
+		row := make([]float64, g.N())
+		for src := 0; src < g.N(); src += stride {
+			want := Dijkstra(g, src)
+			got := s.RowInto(src, row)
+			requireRowEqual(t, want, got,
+				fmt.Sprintf("%s workers=%d delta=%v src=%d", name, workers, delta, src))
+		}
+	}
+}
+
+func TestDeltaMatchesHeapOnFamilies(t *testing.T) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnp-sparse-uniform", graph.Connectify(graph.GNP(400, 8.0/400, graph.UniformWeight(1, 100), 1), 50)},
+		{"gnp-sparse-exp", graph.Connectify(graph.GNP(400, 8.0/400, graph.ExpWeight(10), 2), 50)},
+		{"gnp-unit", graph.Connectify(graph.GNP(300, 6.0/300, graph.UnitWeight, 3), 1)},
+		{"gnp-power", graph.Connectify(graph.GNP(300, 6.0/300, graph.PowerWeight(2, 10), 4), 8)},
+		{"grid", graph.Grid(17, 19, graph.UniformWeight(1, 10), 5)},
+		{"torus", graph.Torus(13, 11, graph.ExpWeight(3), 6)},
+		{"path", graph.Path(257, graph.UniformWeight(0.5, 2), 7)},
+		{"cycle", graph.Cycle(200, graph.UniformWeight(1, 5), 8)},
+		{"star", graph.Star(300, graph.UniformWeight(1, 50), 9)},
+		{"tree", graph.RandomTree(300, graph.PowerWeight(3, 6), 10)},
+		{"pref-attach", graph.PreferentialAttachment(300, 3, graph.UniformWeight(1, 100), 11)},
+		{"complete", graph.Complete(300, graph.UniformWeight(1, 1000), 12)},
+		{"tiny-weights", graph.Connectify(graph.GNP(200, 8.0/200, graph.UniformWeight(1e-12, 1e-9), 13), 1e-9)},
+		{"wide-weights", graph.Connectify(graph.GNP(200, 8.0/200, graph.UniformWeight(1e-6, 1e6), 14), 1)},
+	}
+	for _, f := range families {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			t.Parallel()
+			checkAllSources(t, f.g, f.name, 0) // auto-tuned Δ
+		})
+	}
+}
+
+// TestDeltaParallelFrontier forces the CAS/merge path: a complete graph's
+// first bucket frontier exceeds the serial relax cutoff, so workers=3 truly
+// shards the relaxation.
+func TestDeltaParallelFrontier(t *testing.T) {
+	g := graph.Complete(400, graph.UniformWeight(1, 10), 99)
+	checkAllSources(t, g, "complete-parallel", 0)
+	checkAllSources(t, g, "complete-parallel-wide", 1e9) // single-bucket regime
+}
+
+// TestDeltaExplicitWidths sweeps Δ across regimes: much smaller than the
+// minimum weight (every edge heavy — Dial-like), comparable to the mean, and
+// larger than the graph diameter (every edge light — one Bellman-Ford-style
+// bucket). All must agree bit-for-bit with the heap.
+func TestDeltaExplicitWidths(t *testing.T) {
+	g := graph.Connectify(graph.GNP(300, 8.0/300, graph.UniformWeight(1, 100), 21), 50)
+	for _, delta := range []float64{1e-9, 0.5, 5, 100, 1e12, math.Inf(1)} {
+		checkAllSources(t, g, "width-sweep", delta)
+	}
+}
+
+func TestDeltaDisconnectedComponents(t *testing.T) {
+	// Two GNP islands plus isolated vertices: unreachable entries must be the
+	// Inf sentinel, bit-identical to the heap's.
+	a := graph.GNP(150, 10.0/150, graph.UniformWeight(1, 10), 31)
+	var edges []graph.Edge
+	for _, e := range a.Edges() {
+		edges = append(edges, e)
+		edges = append(edges, graph.Edge{U: e.U + 150, V: e.V + 150, W: e.W})
+	}
+	g, err := graph.New(310, edges) // vertices 300..309 are isolated
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllSources(t, g, "disconnected", 0)
+
+	s := NewSolver(g, SolverOptions{Engine: EngineDelta})
+	row := s.Row(305) // isolated source
+	for v, d := range row {
+		switch {
+		case v == 305 && d != 0:
+			t.Fatalf("isolated source distance to itself = %v", d)
+		case v != 305 && !math.IsInf(d, 1):
+			t.Fatalf("isolated source reaches %d at %v; want +Inf", v, d)
+		}
+	}
+}
+
+func TestDeltaSingleVertexAndEdgeless(t *testing.T) {
+	for _, n := range []int{1, 5} {
+		g, err := graph.New(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSolver(g, SolverOptions{Engine: EngineDelta})
+		requireRowEqual(t, Dijkstra(g, 0), s.Row(0), fmt.Sprintf("edgeless n=%d", n))
+	}
+}
+
+// TestDeltaRejectsZeroWeight pins the invariant delta-stepping's light/heavy
+// split and termination argument rely on: the graph layer refuses
+// non-positive (and NaN) weights, so w > 0 holds for every arc the solver
+// ever sees.
+func TestDeltaRejectsZeroWeight(t *testing.T) {
+	for _, w := range []float64{0, -1, math.NaN(), math.Inf(-1)} {
+		if _, err := graph.New(2, []graph.Edge{{U: 0, V: 1, W: w}}); err == nil {
+			t.Fatalf("graph.New accepted weight %v; the solver requires w > 0", w)
+		}
+	}
+}
+
+// TestDeltaDenormalWeights runs the engines over subnormal float weights,
+// where d[u] + w can round to exactly d[u]: relaxation must still terminate
+// and agree with the heap.
+func TestDeltaDenormalWeights(t *testing.T) {
+	denormal := math.SmallestNonzeroFloat64
+	edges := []graph.Edge{
+		{U: 0, V: 1, W: denormal},
+		{U: 1, V: 2, W: denormal * 4},
+		{U: 2, V: 3, W: 1},
+		{U: 0, V: 3, W: 1},
+		{U: 3, V: 4, W: denormal},
+		{U: 1, V: 4, W: 2},
+	}
+	g, err := graph.New(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllSources(t, g, "denormal", 0)
+	checkAllSources(t, g, "denormal-wide", 10)
+}
+
+func TestDeltaParallelEdges(t *testing.T) {
+	// Parallel edges with distinct weights: the split may place the copies in
+	// different classes; the minimum must still win.
+	g, err := graph.New(3, []graph.Edge{
+		{U: 0, V: 1, W: 5}, {U: 0, V: 1, W: 2}, {U: 0, V: 1, W: 9},
+		{U: 1, V: 2, W: 1}, {U: 1, V: 2, W: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllSources(t, g, "parallel-edges", 0)
+}
+
+func TestEngineAutoResolution(t *testing.T) {
+	small := graph.Path(64, graph.UnitWeight, 1)
+	if e := NewSolver(small, SolverOptions{}).Engine(); e != EngineHeap {
+		t.Fatalf("auto on n=64 resolved to %v; want heap", e)
+	}
+	if e := NewSolver(small, SolverOptions{Engine: EngineDelta}).Engine(); e != EngineDelta {
+		t.Fatalf("explicit delta resolved to %v", e)
+	}
+	if d := NewSolver(small, SolverOptions{Engine: EngineHeap}).Delta(); d != 0 {
+		t.Fatalf("heap solver reports delta %v; want 0", d)
+	}
+	s := NewSolver(small, SolverOptions{Engine: EngineDelta, Delta: 2.5})
+	if s.Delta() != 2.5 {
+		t.Fatalf("explicit Δ not honored: %v", s.Delta())
+	}
+	// Auto Δ = avgW / avgDeg: the path has unit weights and average degree
+	// 2·63/64, so the width must land near 64/126.
+	auto := NewSolver(small, SolverOptions{Engine: EngineDelta})
+	want := 1.0 / (2 * 63.0 / 64)
+	if math.Abs(auto.Delta()-want) > 1e-12 {
+		t.Fatalf("auto Δ = %v; want %v", auto.Delta(), want)
+	}
+}
+
+func TestEngineStringAndParse(t *testing.T) {
+	cases := map[Engine]string{EngineAuto: "auto", EngineHeap: "heap", EngineDelta: "delta-stepping"}
+	for e, name := range cases {
+		if e.String() != name {
+			t.Fatalf("%d.String() = %q; want %q", e, e.String(), name)
+		}
+		got, err := ParseEngine(name)
+		if err != nil || got != e {
+			t.Fatalf("ParseEngine(%q) = %v, %v", name, got, err)
+		}
+	}
+	if got, err := ParseEngine("delta"); err != nil || got != EngineDelta {
+		t.Fatalf("ParseEngine(delta) = %v, %v", got, err)
+	}
+	if _, err := ParseEngine("bogus"); err == nil {
+		t.Fatal("ParseEngine accepted bogus engine")
+	}
+}
+
+func TestSolverMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := graph.Connectify(graph.GNP(300, 8.0/300, graph.UniformWeight(1, 100), 41), 50)
+	s := NewSolver(g, SolverOptions{Engine: EngineDelta, Workers: 1, Metrics: reg})
+	s.Row(0)
+	s.Row(1)
+	if v := reg.Counter("dist_sssp_rows_total").Value(); v != 2 {
+		t.Fatalf("dist_sssp_rows_total = %d; want 2", v)
+	}
+	if v := reg.Counter("dist_delta_relaxations_total").Value(); v <= 0 {
+		t.Fatalf("dist_delta_relaxations_total = %d; want > 0", v)
+	}
+	if v := reg.Counter("dist_delta_buckets_total").Value(); v <= 0 {
+		t.Fatalf("dist_delta_buckets_total = %d; want > 0", v)
+	}
+	if v := reg.Counter("dist_delta_light_phases_total").Value(); v <= 0 {
+		t.Fatalf("dist_delta_light_phases_total = %d; want > 0", v)
+	}
+}
+
+// TestSolverRowIntoReuse pins the pooled-scratch contract: reusing the row
+// buffer makes steady-state fills allocation-free apart from bucket growth
+// on the first run.
+func TestSolverRowIntoReuse(t *testing.T) {
+	if raceEnabled { // under -race, sync.Pool drops entries by design
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	g := graph.Connectify(graph.GNP(500, 8.0/500, graph.UniformWeight(1, 100), 51), 50)
+	s := NewSolver(g, SolverOptions{Engine: EngineDelta, Workers: 1})
+	row := make([]float64, g.N())
+	s.RowInto(0, row) // warm the pool
+	allocs := testing.AllocsPerRun(20, func() {
+		s.RowInto(1, row)
+	})
+	if allocs > 1 { // occasional bucket slice growth is tolerated; O(n) churn is not
+		t.Fatalf("warm RowInto allocates %v objects per run; want ≤ 1", allocs)
+	}
+}
+
+// FuzzDeltaVsHeap derives a random weighted graph from the fuzz input and
+// checks the exactness contract at every pinned worker count.
+func FuzzDeltaVsHeap(f *testing.F) {
+	f.Add(uint64(1), 16, 30, false)
+	f.Add(uint64(7), 40, 120, true)
+	f.Add(uint64(42), 3, 1, false)
+	f.Add(uint64(99), 25, 0, true)
+	f.Fuzz(func(t *testing.T, seed uint64, n, m int, heavyTail bool) {
+		if n < 1 || n > 200 || m < 0 || m > 2000 {
+			t.Skip()
+		}
+		w := graph.UniformWeight(0.1, 10)
+		if heavyTail {
+			w = graph.PowerWeight(4, 12)
+		}
+		g := graph.GNM(n, m, w, seed)
+		for _, workers := range deltaWorkerCounts {
+			s := NewSolver(g, SolverOptions{Engine: EngineDelta, Workers: workers})
+			src := int(seed % uint64(n))
+			requireRowEqual(t, Dijkstra(g, src), s.Row(src),
+				fmt.Sprintf("fuzz seed=%d n=%d m=%d workers=%d", seed, n, m, workers))
+		}
+	})
+}

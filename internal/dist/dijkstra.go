@@ -111,22 +111,6 @@ func (s *scratch) runTo(g *graph.Graph, d []float64, remaining int) {
 	}
 }
 
-// dijkstraFull computes the full distance row from src into the scratch's
-// pooled row, using the scratch's own heap — the fully pooled form the
-// stretch estimators run per sampled source. The returned slice is the
-// pooled row (valid until the next run on this scratch or its release).
-func (s *scratch) dijkstraFull(g *graph.Graph, src int) []float64 {
-	d := s.dist
-	for i := range d {
-		d[i] = Inf
-	}
-	d[src] = 0
-	s.heap.reset()
-	s.heap.push(0, int32(src))
-	s.run(g, d, nil)
-	return d
-}
-
 // dijkstraTo computes the distances from src into the scratch's pooled row,
 // only far enough to settle every vertex in targets — the early-exit
 // single-source query behind the sampled stretch estimators. Entries beyond

@@ -20,6 +20,13 @@ const (
 // equivalent to checking all pairs (the spanner edge condition), which is
 // how Verify certifies the paper's bounds. Edges whose endpoints h
 // disconnects contribute Inf. h must share g's vertex set.
+//
+// The edge estimators stay on the early-exit heap Dijkstra deliberately:
+// each source only needs its incident edges' endpoints settled, and the heap
+// stops as soon as the last target pops, typically exploring a small ball —
+// while delta-stepping has no cheap early exit (it settles whole buckets).
+// The full-row estimators (PairStretch, StretchCDF) are the ones routed
+// through the engine selection; see PairStretchOpts.
 func EdgeStretch(g, h *graph.Graph) (StretchReport, error) {
 	if err := compatible(g, h); err != nil {
 		return StretchReport{}, err
@@ -94,7 +101,15 @@ func edgeRatios(g, h *graph.Graph, ids []int) []float64 {
 // source can reach any vertex, the zero-value report (Checked = 0) is
 // returned.
 func PairStretch(g, h *graph.Graph, sources int, seed uint64) (StretchReport, error) {
-	ratios, err := pairRatios(g, h, sources, seed)
+	return PairStretchOpts(g, h, sources, seed, SolverOptions{})
+}
+
+// PairStretchOpts is PairStretch with an explicit SSSP engine selection for
+// the per-source full-row fills — the hook the facade's WithSSSP/WithDelta
+// reach the verification layer through. The report is identical for every
+// engine and worker count (the exactness contract); only the speed differs.
+func PairStretchOpts(g, h *graph.Graph, sources int, seed uint64, opt SolverOptions) (StretchReport, error) {
+	ratios, err := pairRatios(g, h, sources, seed, opt)
 	if err != nil {
 		return StretchReport{}, err
 	}
@@ -108,7 +123,13 @@ func PairStretch(g, h *graph.Graph, sources int, seed uint64) (StretchReport, er
 // PairStretch, an empty sample is an error: quantiles of nothing would be
 // silent NaNs.
 func StretchCDF(g, h *graph.Graph, sources int, quantiles []float64, seed uint64) ([]float64, error) {
-	ratios, err := pairRatios(g, h, sources, seed)
+	return StretchCDFOpts(g, h, sources, quantiles, seed, SolverOptions{})
+}
+
+// StretchCDFOpts is StretchCDF with an explicit SSSP engine selection; see
+// PairStretchOpts.
+func StretchCDFOpts(g, h *graph.Graph, sources int, quantiles []float64, seed uint64, opt SolverOptions) ([]float64, error) {
+	ratios, err := pairRatios(g, h, sources, seed, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -124,8 +145,11 @@ func StretchCDF(g, h *graph.Graph, sources int, quantiles []float64, seed uint64
 }
 
 // pairRatios draws the source sample and computes all finite-in-g pairwise
-// ratios, one g-Dijkstra and one h-Dijkstra per source, sources in parallel.
-func pairRatios(g, h *graph.Graph, sources int, seed uint64) ([]float64, error) {
+// ratios, one full g-row and one full h-row per source, sources in parallel.
+// Rows fill through per-graph Solvers, so a handful of sampled sources on a
+// large graph can also parallelize *within* each row (delta-stepping), not
+// just across the sample.
+func pairRatios(g, h *graph.Graph, sources int, seed uint64, opt SolverOptions) ([]float64, error) {
 	if err := compatible(g, h); err != nil {
 		return nil, err
 	}
@@ -136,16 +160,18 @@ func pairRatios(g, h *graph.Graph, sources int, seed uint64) ([]float64, error) 
 	if sources > n {
 		sources = n
 	}
+	solverG := NewSolver(g, opt)
+	solverH := NewSolver(h, opt)
 	perm := xrand.Split(seed, tagPairSample).Perm(n)
 	srcs := perm[:sources]
 	perSource := make([][]float64, sources)
 	parallelFor(sources, func(i int) {
 		s := srcs[i]
-		// Both rows are read once and discarded, so they run in pooled
+		// Both rows are read once and discarded, so they fill into pooled
 		// scratch rows instead of two fresh n-sized allocations per source.
 		sg, sh := acquire(n), acquire(n)
-		dg := sg.dijkstraFull(g, s)
-		dh := sh.dijkstraFull(h, s)
+		dg := solverG.RowInto(s, sg.dist)
+		dh := solverH.RowInto(s, sh.dist)
 		var rs []float64
 		for v := range dg {
 			if v == s || dg[v] == Inf {

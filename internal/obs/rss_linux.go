@@ -1,0 +1,34 @@
+//go:build linux
+
+package obs
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// PeakRSSBytes returns the process's peak resident set size (VmHWM from
+// /proc/self/status) in bytes, or 0 when it cannot be read. The large-n
+// benchmarks report it as a custom metric so the bench baseline pins memory
+// as well as speed.
+func PeakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	// Line format: "VmHWM:    123456 kB".
+	i := bytes.Index(data, []byte("VmHWM:"))
+	if i < 0 {
+		return 0
+	}
+	fields := bytes.Fields(data[i+len("VmHWM:"):])
+	if len(fields) < 1 {
+		return 0
+	}
+	kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return kb * 1024
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package obs
+
+// PeakRSSBytes reports 0 on platforms without a /proc peak-RSS counter;
+// callers treat 0 as "unknown" and skip the metric.
+func PeakRSSBytes() int64 { return 0 }

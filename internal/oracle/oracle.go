@@ -60,8 +60,20 @@ type Options struct {
 	MaxRows int
 
 	// Workers is the QueryMany fan-out pool size. Zero selects
-	// runtime.NumCPU().
+	// runtime.NumCPU(). Cold row fills parallelize *within* a source too
+	// (delta-stepping shards each row's relaxations over the same count), so
+	// a single cold query on a large graph is no longer pinned to one core.
 	Workers int
+
+	// SSSP selects the engine behind cold row fills: dist.EngineAuto (the
+	// zero value) picks delta-stepping at scale and the pooled heap below
+	// it; the explicit engines force one. Every engine produces bit-identical
+	// rows — the dist exactness contract — so this is purely a speed knob.
+	SSSP dist.Engine
+
+	// Delta overrides the delta-stepping bucket width; ≤ 0 auto-tunes
+	// (average edge weight / average degree). Ignored by the heap engine.
+	Delta float64
 
 	// Frozen, when non-nil, serves precomputed rows ahead of the cache:
 	// a source the RowSource knows is answered from it directly — no lock,
@@ -99,7 +111,8 @@ type Oracle struct {
 	g       *graph.Graph
 	shards  []shard
 	workers int
-	frozen  RowSource // nil unless Options.Frozen was set
+	solver  *dist.Solver // fills cold rows; engine resolved at New
+	frozen  RowSource    // nil unless Options.Frozen was set
 
 	// Cache counters are obs counters (atomic, lock-free) so Stats() and an
 	// attached /metrics endpoint read the same coherent series. resident
@@ -164,6 +177,12 @@ func New(g *graph.Graph, opt Options) *Oracle {
 		workers = runtime.NumCPU()
 	}
 	o := &Oracle{g: g, shards: make([]shard, nshards), workers: workers, frozen: opt.Frozen}
+	o.solver = dist.NewSolver(g, dist.SolverOptions{
+		Engine:  opt.SSSP,
+		Delta:   opt.Delta,
+		Workers: opt.Workers, // same resolution as the batch pool: 0 = all cores
+		Metrics: opt.Metrics,
+	})
 	reg := opt.Metrics
 	if reg == nil {
 		// Private registry: Stats() always reads obs counters, instrumented
@@ -194,6 +213,13 @@ func New(g *graph.Graph, opt Options) *Oracle {
 
 // Graph returns the graph the oracle serves distances on.
 func (o *Oracle) Graph() *graph.Graph { return o.g }
+
+// SSSP reports the resolved row-fill engine and its effective bucket width
+// (0 for the heap) — what /v1/info advertises so fleet operators can confirm
+// replicas agree.
+func (o *Oracle) SSSP() (engine dist.Engine, delta float64) {
+	return o.solver.Engine(), o.solver.Delta()
+}
 
 // MaxRows returns the effective cache budget in resident rows — the
 // Options.MaxRows value after defaulting and clamping, summed across the
@@ -357,16 +383,17 @@ func (o *Oracle) acquireRow(ctx context.Context, src int) ([]float64, error) {
 	sh.mu.Unlock()
 
 	// Cold fill: the row itself must be freshly allocated (it outlives this
-	// call in the cache and in callers' hands), but the run's frontier heap
-	// comes from dist's per-size scratch pool, so a fill costs exactly one
-	// row allocation.
+	// call in the cache and in callers' hands), but the run's state — the
+	// frontier heap or the delta-stepping buckets, per the resolved engine —
+	// comes from the solver's scratch pool, so a fill costs one row
+	// allocation.
 	o.misses.Add(1)
 	if o.rowFillSeconds != nil {
 		fillStart := time.Now()
-		c.row = dist.Dijkstra(o.g, src)
+		c.row = o.solver.Row(src)
 		o.rowFillSeconds.Observe(time.Since(fillStart).Seconds())
 	} else {
-		c.row = dist.Dijkstra(o.g, src)
+		c.row = o.solver.Row(src)
 	}
 
 	sh.mu.Lock()

@@ -38,6 +38,19 @@ type Info struct {
 	// Artifact identifies the saved artifact the replica serves from, when
 	// it was started with -load; nil for replicas that built in-process.
 	Artifact *ArtifactInfo `json:"artifact,omitempty"`
+
+	// SSSP advertises the replica's resolved row-fill engine, so a fleet
+	// operator can confirm every replica answers cold queries the same way;
+	// nil when the backend does not expose one (bare test backends).
+	SSSP *SSSPInfo `json:"sssp,omitempty"`
+}
+
+// SSSPInfo is the row-fill engine block of /v1/info: the engine name after
+// auto-resolution ("heap" or "delta-stepping", never "auto") and, for
+// delta-stepping, the effective bucket width Δ.
+type SSSPInfo struct {
+	Engine string  `json:"engine"`
+	Delta  float64 `json:"delta,omitempty"`
 }
 
 // ArtifactInfo is the artifact identity block of /v1/info: the determinism

@@ -86,6 +86,10 @@ type Config struct {
 	// Artifact, when non-nil, is reported by /v1/info so clients can verify
 	// which saved build this replica serves. Optional.
 	Artifact *ArtifactInfo
+
+	// SSSP, when non-nil, is reported by /v1/info: the backend session's
+	// resolved row-fill engine (cmd/oracled passes Session.SSSP). Optional.
+	SSSP *SSSPInfo
 }
 
 // Server is one stateless oracled replica: an http.Handler plus the drain
@@ -333,7 +337,7 @@ func (s *Server) retryAfter() string {
 // limits, enough for a load generator to size a workload.
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	info := Info{MaxInflight: s.cfg.MaxInflight, MaxPairs: s.cfg.MaxPairs,
-		Artifact: s.cfg.Artifact}
+		Artifact: s.cfg.Artifact, SSSP: s.cfg.SSSP}
 	if s.cfg.Graph != nil {
 		info.N = s.cfg.Graph.N()
 		info.M = s.cfg.Graph.M()

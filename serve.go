@@ -74,7 +74,7 @@ func Serve(ctx context.Context, g *Graph, opts ...Option) (*Session, error) {
 		s := &Session{input: ag, served: ag, fp: cfg.art.Fingerprint(), art: cfg.art}
 		oopts := oracle.Options{
 			Shards: cfg.shards, MaxRows: cfg.maxRows, Workers: cfg.workers,
-			Metrics: cfg.metrics,
+			Metrics: cfg.metrics, SSSP: cfg.sssp, Delta: cfg.delta,
 		}
 		if rows := artifact.RowsOf(cfg.art); rows != nil {
 			s.frozen = rows
@@ -108,7 +108,7 @@ func Serve(ctx context.Context, g *Graph, opts ...Option) (*Session, error) {
 		res, err := apsp.ApproxCtx(ctx, g, apsp.Options{
 			Seed: cfg.seed, T: cfg.t, Gamma: cfg.gamma,
 			Workers: cfg.workers, Progress: traceProgress(cfg.tracer, cfg.progress),
-			Metrics: cfg.metrics,
+			Metrics: cfg.metrics, SSSP: cfg.sssp, Delta: cfg.delta,
 		})
 		if err != nil {
 			return nil, err
@@ -127,7 +127,7 @@ func Serve(ctx context.Context, g *Graph, opts ...Option) (*Session, error) {
 	}
 	s.oracle = oracle.New(s.served, oracle.Options{
 		Shards: cfg.shards, MaxRows: cfg.maxRows, Workers: cfg.workers,
-		Metrics: cfg.metrics,
+		Metrics: cfg.metrics, SSSP: cfg.sssp, Delta: cfg.delta,
 	})
 	return s, nil
 }
@@ -164,6 +164,24 @@ func (s *Session) Stats() OracleStats { return s.oracle.Stats() }
 // daemon derives its admission-control in-flight ceiling from it, so the
 // load it admits can never thrash the cache it depends on — see cmd/oracled.
 func (s *Session) CacheRows() int { return s.oracle.MaxRows() }
+
+// SSSPInfo reports a session's resolved row-fill engine — what actually
+// answers cold queries after SSSPAuto resolution, so fleet operators can
+// confirm replicas agree (oracled advertises it on /v1/info).
+type SSSPInfo struct {
+	// Engine is the resolved engine name: "heap" or "delta-stepping"
+	// (never "auto" — resolution happens at session creation).
+	Engine string
+	// Delta is the effective bucket width; 0 when Engine is "heap".
+	Delta float64
+}
+
+// SSSP reports the engine behind the session's row fills after WithSSSP /
+// WithDelta defaulting and auto-resolution.
+func (s *Session) SSSP() SSSPInfo {
+	e, d := s.oracle.SSSP()
+	return SSSPInfo{Engine: e.String(), Delta: d}
+}
 
 // Served returns the graph queries are answered on: the collected spanner,
 // or the input graph under WithExact.
