@@ -46,6 +46,9 @@ type config struct {
 	// Persistence knob (Build only).
 	saveTo string
 
+	// Out-of-core knob (MPC-plane builds only).
+	memBudget int64
+
 	// set tracks which options were supplied, so each entry point can
 	// reject the ones it does not accept instead of silently ignoring them.
 	set map[string]bool
@@ -150,6 +153,23 @@ func WithSaveTo(path string) Option {
 	return func(c *config) { c.saveTo = path; c.mark("SaveTo") }
 }
 
+// WithMemoryBudget caps the bytes the simulated MPC cluster's tuple store
+// may keep resident in the host process: contents past the budget spill to
+// checksummed run files (internal/extmem) and the global sorts run as
+// external merge sorts, so builds far larger than RAM complete under a
+// fixed footprint. The constructed spanner and the simulated round bill are
+// bit-identical to an unbudgeted build at every worker count — the budget
+// constrains the host process, not the simulated machines (their memory
+// exponent stays WithGamma).
+//
+// Accepted where the MPC simulation is the construction plane: Build with
+// WithAlgorithm(AlgoMPC), and Serve's default §7 pipeline. Rejected by the
+// other Build families, WithExact, WithArtifact, and CliqueAPSP (nothing
+// spills there). bytes must be positive.
+func WithMemoryBudget(bytes int64) Option {
+	return func(c *config) { c.memBudget = bytes; c.mark("MemoryBudget") }
+}
+
 // WithArtifact serves a previously saved artifact instead of running any
 // pipeline: pass a nil graph to Serve and the session answers distance
 // queries on the artifact's frozen graph, serving its precomputed rows (if
@@ -210,7 +230,7 @@ var (
 	// WithSeed / WithWorkers / WithProgress apply.
 	cliqueAPSPForeign = []string{"Algorithm", "K", "T", "Gamma", "Repetitions",
 		"MeasureRadius", "Exact", "CacheShards", "CacheRows", "Metrics", "Tracer",
-		"SaveTo", "Artifact", "SSSP", "Delta"}
+		"SaveTo", "Artifact", "SSSP", "Delta", "MemoryBudget"}
 )
 
 // newConfig folds opts and rejects the ones foreign to the calling entry
@@ -262,6 +282,10 @@ func newConfig(entry string, reject []string, opts []Option) (*config, error) {
 			return nil, &OptionError{Field: "mpcspanner: Delta", Value: c.delta,
 				Reason: "the heap engine has no bucket width (drop WithDelta or select SSSPDeltaStepping)"}
 		}
+	}
+	if c.set["MemoryBudget"] && c.memBudget <= 0 {
+		return nil, &OptionError{Field: "mpcspanner: MemoryBudget", Value: c.memBudget,
+			Reason: "byte budget must be positive (omit the option to keep everything resident)"}
 	}
 	if c.set["SaveTo"] && c.saveTo == "" {
 		return nil, &OptionError{Field: "mpcspanner: SaveTo", Value: "",
@@ -382,6 +406,10 @@ func Build(ctx context.Context, g *Graph, opts ...Option) (*BuildResult, error) 
 				Reason: "only the local engine algorithms report cluster-tree radii"}
 		}
 	}
+	if cfg.set["MemoryBudget"] && algo != AlgoMPC {
+		return nil, &OptionError{Field: "mpcspanner: MemoryBudget", Value: cfg.memBudget,
+			Reason: "only the MPC simulation spills (use WithAlgorithm(AlgoMPC))"}
+	}
 	if algo == AlgoUnweighted && cfg.set["Gamma"] && cfg.gamma >= 1 {
 		// Appendix B needs γ strictly below 1; catch it with the other
 		// option checks instead of deep inside the construction.
@@ -429,8 +457,9 @@ func Build(ctx context.Context, g *Graph, opts ...Option) (*BuildResult, error) 
 		fpT, fpGamma = t, gamma
 		r, err := mpc.BuildSpannerCtx(ctx, g, cfg.k, t, cfg.seed, mpc.Options{
 			Gamma: gamma, Workers: cfg.workers,
-			Progress: traceProgress(cfg.tracer, cfg.progress),
-			Metrics:  cfg.metrics,
+			Progress:     traceProgress(cfg.tracer, cfg.progress),
+			Metrics:      cfg.metrics,
+			MemoryBudget: cfg.memBudget,
 		})
 		if err != nil {
 			return nil, err

@@ -114,6 +114,9 @@ func TestBuildOptionValidation(t *testing.T) {
 		{"reps on mpc", []Option{WithK(4), WithAlgorithm(AlgoMPC), WithRepetitions(2)}, "Repetitions"},
 		{"radius on mpc", []Option{WithK(4), WithAlgorithm(AlgoMPC), WithMeasureRadius()}, "MeasureRadius"},
 		{"serve-only option", []Option{WithK(4), WithExact()}, "Exact"},
+		{"zero memory budget", []Option{WithK(4), WithAlgorithm(AlgoMPC), WithMemoryBudget(0)}, "MemoryBudget"},
+		{"negative memory budget", []Option{WithK(4), WithAlgorithm(AlgoMPC), WithMemoryBudget(-1)}, "MemoryBudget"},
+		{"memory budget off the MPC plane", []Option{WithK(4), WithMemoryBudget(1 << 20)}, "MemoryBudget"},
 	}
 	for _, tc := range cases {
 		_, err := Build(ctx, g, tc.opts...)
@@ -314,5 +317,39 @@ func TestServeSession(t *testing.T) {
 	shared.APSP().DistancesFrom(3) // same source, same cache
 	if got := shared.Stats().Misses; got != misses {
 		t.Fatalf("APSP query after session query recomputed the row: misses %d -> %d", misses, got)
+	}
+}
+
+// TestMemoryBudgetFacade pins the out-of-core surface at the facade: a
+// budgeted MPC Build really spills, reports its profile on Result.MPC, and
+// selects the identical spanner; planes that never run an MPC build reject
+// the option with the usual typed taxonomy.
+func TestMemoryBudgetFacade(t *testing.T) {
+	g := testGraphSmall()
+	ctx := context.Background()
+	ref, err := Build(ctx, g, WithAlgorithm(AlgoMPC), WithK(4), WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Build(ctx, g, WithAlgorithm(AlgoMPC), WithK(4), WithSeed(21),
+		WithMemoryBudget(32<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MPC.MemoryBudget != 32<<10 || got.MPC.SpilledBytes <= 0 || got.MPC.SpillRuns <= 0 {
+		t.Fatalf("budgeted build reported no spill profile: %+v", got.MPC)
+	}
+	if ref.MPC.MemoryBudget != 0 || ref.MPC.SpilledBytes != 0 {
+		t.Fatalf("resident build reports a spill profile: %+v", ref.MPC)
+	}
+	if !reflect.DeepEqual(got.EdgeIDs, ref.EdgeIDs) {
+		t.Fatal("budgeted build selected a different spanner than the resident build")
+	}
+	if _, err := Serve(ctx, g, WithExact(), WithMemoryBudget(1<<20)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("Serve(WithExact, WithMemoryBudget) = %v, want ErrInvalidOption", err)
+	}
+	var oe *OptionError
+	if _, err := Serve(ctx, g, WithExact(), WithMemoryBudget(1<<20)); !errors.As(err, &oe) || oe.Field != "mpcspanner: MemoryBudget" {
+		t.Fatalf("Serve rejection names field %+v, want MemoryBudget", oe)
 	}
 }

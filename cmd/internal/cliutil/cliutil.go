@@ -187,6 +187,114 @@ func (c *SSSPConfig) Engine() (dist.Engine, error) {
 	return e, nil
 }
 
+// MemoryConfig holds the shared -memory flag after parsing: the byte budget
+// on the MPC build's resident tuple store (out-of-core builds, see
+// mpcspanner.WithMemoryBudget). Register it with MemoryFlag; resolve with
+// Budget after the FlagSet has parsed.
+type MemoryConfig struct {
+	Spec string
+	fs   *flag.FlagSet
+}
+
+// MemoryFlag registers -memory on fs and returns the config the parsed
+// value lands in.
+func MemoryFlag(fs *flag.FlagSet) *MemoryConfig {
+	c := &MemoryConfig{fs: fs}
+	fs.StringVar(&c.Spec, "memory", "",
+		"byte budget for the MPC build's resident tuples, spilling past it to disk"+
+			" (e.g. 512MiB, 2GiB, 64K; empty = fully resident)")
+	return c
+}
+
+// ParseBytes parses a human byte size: a positive integer with an optional
+// binary-unit suffix KiB/MiB/GiB (or the shorthand K/M/G — also binary),
+// case-insensitive. Plain digits are bytes.
+func ParseBytes(s string) (int64, error) {
+	digits := 0
+	for digits < len(s) && s[digits] >= '0' && s[digits] <= '9' {
+		digits++
+	}
+	if digits == 0 {
+		return 0, fmt.Errorf("size %q must start with digits", s)
+	}
+	var n int64
+	for _, d := range s[:digits] {
+		if n > (math.MaxInt64-int64(d-'0'))/10 {
+			return 0, fmt.Errorf("size %q overflows", s)
+		}
+		n = n*10 + int64(d-'0')
+	}
+	var shift uint
+	switch suffix := s[digits:]; {
+	case suffix == "" || eqFold(suffix, "B"):
+	case eqFold(suffix, "K") || eqFold(suffix, "KiB"):
+		shift = 10
+	case eqFold(suffix, "M") || eqFold(suffix, "MiB"):
+		shift = 20
+	case eqFold(suffix, "G") || eqFold(suffix, "GiB"):
+		shift = 30
+	default:
+		return 0, fmt.Errorf("size %q has unknown unit %q (want KiB, MiB, or GiB)", s, suffix)
+	}
+	if n > math.MaxInt64>>shift {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	n <<= shift
+	if n <= 0 {
+		return 0, fmt.Errorf("size %q must be positive", s)
+	}
+	return n, nil
+}
+
+// eqFold is strings.EqualFold for the pure-ASCII unit suffixes.
+func eqFold(s, t string) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		a, b := s[i], t[i]
+		if 'A' <= a && a <= 'Z' {
+			a += 'a' - 'A'
+		}
+		if 'A' <= b && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Budget resolves -memory to a byte budget (0 when the flag was not given).
+// conflicts names flags that rule out a budgeted build when set — a daemon
+// serving a prebuilt artifact, an exact-mode oracle — and requiresSet, when
+// non-empty, names a flag that must be set for -memory to mean anything
+// (e.g. cmd/spanner's -mpc: only the MPC plane spills). Violations are
+// typed *core.OptionError, like every rejected option.
+func (c *MemoryConfig) Budget(conflicts []string, requiresSet string) (int64, error) {
+	if c.Spec == "" {
+		return 0, nil
+	}
+	set := map[string]bool{}
+	c.fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, name := range conflicts {
+		if set[name] {
+			return 0, &core.OptionError{Field: "-memory", Value: c.Spec,
+				Reason: "conflicts with -" + name + " (no MPC build runs, so nothing spills)"}
+		}
+	}
+	if requiresSet != "" && !set[requiresSet] {
+		return 0, &core.OptionError{Field: "-memory", Value: c.Spec,
+			Reason: "only the MPC plane spills (add -" + requiresSet + ")"}
+	}
+	n, err := ParseBytes(c.Spec)
+	if err != nil {
+		return 0, &core.OptionError{Field: "-memory", Value: c.Spec, Reason: err.Error()}
+	}
+	return n, nil
+}
+
 // MetricsSink wires the shared -metrics flag: every CLI that constructs
 // spanners or serves distances registers it the same way, so one flag
 // vocabulary covers the whole cmd/* family. The zero path means "off" —

@@ -309,3 +309,105 @@ func TestArtifactFlagsLoadTolerantOfOtherFlags(t *testing.T) {
 		t.Fatal("unrelated flag lost its value")
 	}
 }
+
+func TestParseBytes(t *testing.T) {
+	good := map[string]int64{
+		"1":      1,
+		"4096":   4096,
+		"64K":    64 << 10,
+		"64KiB":  64 << 10,
+		"64kib":  64 << 10,
+		"512MiB": 512 << 20,
+		"512m":   512 << 20,
+		"2GiB":   2 << 30,
+		"2g":     2 << 30,
+		"123B":   123,
+	}
+	for spec, want := range good {
+		got, err := ParseBytes(spec)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", spec, err)
+		} else if got != want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", spec, got, want)
+		}
+	}
+	bad := []string{"", "0", "0KiB", "-1", "KiB", "12XB", "1.5GiB", "64 KiB",
+		"99999999999999999999", "9999999999GiB"}
+	for _, spec := range bad {
+		if n, err := ParseBytes(spec); err == nil {
+			t.Errorf("ParseBytes(%q) accepted as %d", spec, n)
+		}
+	}
+}
+
+func TestMemoryFlagBudget(t *testing.T) {
+	parse := func(args ...string) (*MemoryConfig, *flag.FlagSet) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.Bool("mpc", false, "")
+		fs.String("load", "", "")
+		fs.Bool("exact", false, "")
+		mc := MemoryFlag(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return mc, fs
+	}
+
+	// Unset flag: zero budget, no validation at all.
+	mc, _ := parse()
+	if n, err := mc.Budget([]string{"load", "exact"}, "mpc"); n != 0 || err != nil {
+		t.Fatalf("unset -memory: got (%d, %v), want (0, nil)", n, err)
+	}
+
+	// Happy path with the requires-plane rule satisfied.
+	mc, _ = parse("-memory", "64KiB", "-mpc")
+	n, err := mc.Budget([]string{"load", "exact"}, "mpc")
+	if err != nil || n != 64<<10 {
+		t.Fatalf("-memory 64KiB -mpc: got (%d, %v)", n, err)
+	}
+
+	// Missing required plane flag.
+	mc, _ = parse("-memory", "64KiB")
+	if _, err := mc.Budget(nil, "mpc"); err == nil {
+		t.Fatal("-memory without -mpc accepted")
+	} else {
+		var oe *core.OptionError
+		if !errors.As(err, &oe) || oe.Field != "-memory" {
+			t.Fatalf("want *core.OptionError on -memory, got %v", err)
+		}
+		if !strings.Contains(oe.Reason, "-mpc") {
+			t.Fatalf("error should name the missing flag: %v", err)
+		}
+	}
+
+	// Conflicting plane flags.
+	conflictArgs := map[string][]string{
+		"load":  {"-memory", "1GiB", "-load", "in.art"},
+		"exact": {"-memory", "1GiB", "-exact"},
+	}
+	for conflict, args := range conflictArgs {
+		mc, _ = parse(args...)
+		if _, err := mc.Budget([]string{"load", "exact"}, ""); err == nil {
+			t.Fatalf("-memory with -%s accepted", conflict)
+		} else {
+			var oe *core.OptionError
+			if !errors.As(err, &oe) || oe.Field != "-memory" {
+				t.Fatalf("-%s: want *core.OptionError on -memory, got %v", conflict, err)
+			}
+			if !strings.Contains(oe.Reason, "-"+conflict) {
+				t.Fatalf("-%s: error should name the conflict: %v", conflict, err)
+			}
+		}
+	}
+
+	// Bad size text surfaces as the same typed error.
+	mc, _ = parse("-memory", "lots", "-mpc")
+	if _, err := mc.Budget(nil, "mpc"); err == nil {
+		t.Fatal("-memory lots accepted")
+	} else {
+		var oe *core.OptionError
+		if !errors.As(err, &oe) || oe.Field != "-memory" {
+			t.Fatalf("want *core.OptionError on -memory, got %v", err)
+		}
+	}
+}

@@ -54,9 +54,14 @@ func main() {
 	batch := flag.Int("batch", 1024, "serve queries in batches of this size (stats then show cross-batch cache hits); <= 0 = one batch")
 	quiet := flag.Bool("quiet", false, "suppress per-query output, print stats only")
 	listen := flag.String("listen", "", "serve live /metrics and /debug/pprof on this address while running (e.g. :9090)")
+	mem := cliutil.MemoryFlag(flag.CommandLine)
 	met := cliutil.MetricsFlag()
 	flag.Parse()
 	if err := ac.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	budget, err := mem.Budget([]string{"exact", "load"}, "")
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -84,7 +89,6 @@ func main() {
 	// from the file, so the generator path is skipped entirely.
 	var art *mpcspanner.Artifact
 	var g *mpcspanner.Graph
-	var err error
 	if ac.Load != "" {
 		art, err = mpcspanner.Open(ctx, ac.Load)
 		if err != nil {
@@ -135,10 +139,15 @@ func main() {
 		// Build on the simulated MPC plane — bit-identical to the local
 		// engine for equal seeds, and the plane the mpc_* round/load series
 		// on /metrics describe.
-		res, err := mpcspanner.Build(ctx, g,
+		buildOpts := []mpcspanner.Option{
 			mpcspanner.WithAlgorithm(mpcspanner.AlgoMPC),
 			mpcspanner.WithK(kk), mpcspanner.WithT(tt), mpcspanner.WithSeed(gc.Seed),
-			mpcspanner.WithMetrics(reg))
+			mpcspanner.WithMetrics(reg),
+		}
+		if budget > 0 {
+			buildOpts = append(buildOpts, mpcspanner.WithMemoryBudget(budget))
+		}
+		res, err := mpcspanner.Build(ctx, g, buildOpts...)
 		if err != nil {
 			if errors.Is(err, mpcspanner.ErrCanceled) {
 				fmt.Fprintln(os.Stderr, "canceled during the spanner build; no queries served")
@@ -149,6 +158,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spanner: k=%d %d/%d edges, stretch <= %.2f, %d simulated rounds, built in %v\n",
 			kk, serve.M(), g.M(), mpcspanner.StretchBound(kk, tt), res.MPC.Rounds,
 			time.Since(start).Round(time.Millisecond))
+		if res.MPC.MemoryBudget > 0 {
+			fmt.Fprintf(os.Stderr, "extmem: budget=%d spilled=%d runs=%d mergePasses=%d\n",
+				res.MPC.MemoryBudget, res.MPC.SpilledBytes, res.MPC.SpillRuns, res.MPC.MergePasses)
+		}
 	}
 
 	engine, err := sscfg.Engine()

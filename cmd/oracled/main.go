@@ -120,8 +120,13 @@ func runServe(args []string) {
 	maxPairs := fs.Int("max-pairs", 0, "max pairs per request batch (0 = 65536)")
 	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "ceiling on client-requested timeout_ms")
 	drain := fs.Duration("drain", 15*time.Second, "grace period for in-flight requests on SIGTERM")
+	mem := cliutil.MemoryFlag(fs)
 	fs.Parse(args)
 	if err := ac.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	budget, err := mem.Budget([]string{"exact", "load"}, "")
+	if err != nil {
 		log.Fatal(err)
 	}
 	if ac.Save != "" && *exact {
@@ -152,6 +157,7 @@ func runServe(args []string) {
 	var session *mpcspanner.Session
 	var serveGraph *mpcspanner.Graph
 	var artInfo *server.ArtifactInfo
+	var memInfo *server.MemoryInfo
 	if ac.Load != "" {
 		// Cold start from a saved artifact: no generation, no build — the
 		// graph (mmapped where possible) and any frozen rows come straight
@@ -208,6 +214,9 @@ func runServe(args []string) {
 			if ac.Save != "" {
 				buildOpts = append(buildOpts, mpcspanner.WithSaveTo(ac.Save))
 			}
+			if budget > 0 {
+				buildOpts = append(buildOpts, mpcspanner.WithMemoryBudget(budget))
+			}
 			start := time.Now()
 			res, err := mpcspanner.Build(ctx, g, buildOpts...)
 			if err != nil {
@@ -220,6 +229,14 @@ func runServe(args []string) {
 			fmt.Fprintf(os.Stderr, "spanner: k=%d %d/%d edges, stretch <= %.2f, %d simulated rounds, built in %v\n",
 				kk, serveGraph.M(), g.M(), mpcspanner.StretchBound(kk, tt), res.MPC.Rounds,
 				time.Since(start).Round(time.Millisecond))
+			if m := res.MPC; m.MemoryBudget > 0 {
+				memInfo = &server.MemoryInfo{
+					BudgetBytes: m.MemoryBudget, SpilledBytes: m.SpilledBytes,
+					RunFiles: m.SpillRuns, MergePasses: m.MergePasses,
+				}
+				fmt.Fprintf(os.Stderr, "extmem: budget=%d spilled=%d runs=%d mergePasses=%d\n",
+					m.MemoryBudget, m.SpilledBytes, m.SpillRuns, m.MergePasses)
+			}
 			if ac.Save != "" {
 				// Reopen what WithSaveTo wrote so the printed checksum is the
 				// loader's view of the file — the line the CI smoke job greps
@@ -264,6 +281,7 @@ func runServe(args []string) {
 		MaxTimeout:  *maxTimeout,
 		Artifact:    artInfo,
 		SSSP:        &server.SSSPInfo{Engine: sssp.Engine, Delta: sssp.Delta},
+		Memory:      memInfo,
 	})
 
 	l, err := net.Listen("tcp", *addr)

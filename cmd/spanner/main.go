@@ -39,9 +39,14 @@ func main() {
 	verify := flag.Int("verify", 2000, "edges to sample for stretch verification (0 = skip)")
 	progress := flag.Bool("progress", false, "print per-iteration progress to stderr")
 	out := flag.String("out", "", "write the spanner subgraph to this file")
+	mem := cliutil.MemoryFlag(flag.CommandLine)
 	met := cliutil.MetricsFlag()
 	flag.Parse()
 	if err := ac.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	budget, err := mem.Budget([]string{"load"}, "mpc")
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -88,6 +93,9 @@ func main() {
 	case *useMPC:
 		opts = append(opts, mpcspanner.WithAlgorithm(mpcspanner.AlgoMPC),
 			mpcspanner.WithGamma(*gamma), mpcspanner.WithT(mpcT))
+		if budget > 0 {
+			opts = append(opts, mpcspanner.WithMemoryBudget(budget))
+		}
 	case *algo == "unweighted":
 		opts = append(opts, mpcspanner.WithAlgorithm(mpcspanner.AlgoUnweighted))
 	default:
@@ -108,6 +116,10 @@ func main() {
 		m := res.MPC
 		fmt.Printf("mpc: rounds=%d machines=%d S=%d peakLoad=%d sorts=%d treeOps=%d moved=%d\n",
 			m.Rounds, m.Machines, m.MemoryPerMachine, m.PeakMachineLoad, m.Sorts, m.TreeOps, m.TuplesMoved)
+		if m.MemoryBudget > 0 {
+			fmt.Printf("extmem: budget=%d spilled=%d runs=%d mergePasses=%d\n",
+				m.MemoryBudget, m.SpilledBytes, m.SpillRuns, m.MergePasses)
+		}
 		bound = mpcspanner.StretchBound(*k, mpcT)
 	case res.Unweighted != nil:
 		u := res.Unweighted

@@ -66,6 +66,12 @@ type Options struct {
 
 	// Delta overrides the delta-stepping bucket width; ≤ 0 auto-tunes.
 	Delta float64
+
+	// MemoryBudget, when positive, caps the host-process bytes the build's
+	// tuple store keeps resident (see mpc.Options.MemoryBudget): contents
+	// past the budget spill to internal/extmem run files. The pipeline's
+	// result is bit-identical either way.
+	MemoryBudget int64
 }
 
 // Result is a completed Corollary 1.4 run.
@@ -82,6 +88,13 @@ type Result struct {
 	CollectorWords   int  // Õ(n) capacity of the near-linear machine
 	FitsOneMachine   bool // the paper's key memory claim
 	MemoryPerBuilder int  // n^γ capacity of the build-phase machines
+
+	// Out-of-core profile of the build phase (zero when
+	// Options.MemoryBudget was unset) — see mpc.Result.
+	MemoryBudget int64
+	SpilledBytes int64
+	SpillRuns    int64
+	MergePasses  int64
 
 	g       *graph.Graph
 	spanner *graph.Graph
@@ -136,7 +149,7 @@ func ApproxCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error
 
 	build, err := mpc.BuildSpannerCtx(ctx, g, k, t, opt.Seed,
 		mpc.Options{Gamma: gamma, Workers: opt.Workers, Progress: opt.Progress,
-			Metrics: opt.Metrics})
+			Metrics: opt.Metrics, MemoryBudget: opt.MemoryBudget})
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +181,10 @@ func ApproxCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error
 		CollectorWords:   collectorWords,
 		FitsOneMachine:   len(build.EdgeIDs) <= collectorWords,
 		MemoryPerBuilder: build.MemoryPerMachine,
+		MemoryBudget:     build.MemoryBudget,
+		SpilledBytes:     build.SpilledBytes,
+		SpillRuns:        build.SpillRuns,
+		MergePasses:      build.MergePasses,
 		g:                g,
 		spanner:          g.Subgraph(build.EdgeIDs),
 		workers:          opt.Workers,

@@ -1,10 +1,11 @@
-package artifact
+package artifact_test
 
 import (
 	"context"
 	"path/filepath"
 	"testing"
 
+	"mpcspanner/internal/artifact"
 	"mpcspanner/internal/graph"
 	"mpcspanner/internal/mpc"
 )
@@ -22,19 +23,19 @@ func BenchmarkArtifactOpen(b *testing.B) {
 	}
 	spanner := g.Subgraph(res.EdgeIDs)
 	path := filepath.Join(b.TempDir(), "spanner.art")
-	if err := Write(path, Payload{Graph: spanner, EdgeIDs: res.EdgeIDs,
+	if err := artifact.Write(path, artifact.Payload{Graph: spanner, EdgeIDs: res.EdgeIDs,
 		SourceN: g.N(), SourceM: g.M(),
-		Fingerprint: Fingerprint{Algorithm: "mpc", Seed: 1, K: 10, T: 4}}); err != nil {
+		Fingerprint: artifact.Fingerprint{Algorithm: "mpc", Seed: 1, K: 10, T: 4}}); err != nil {
 		b.Fatal(err)
 	}
 
 	b.Run("mmap", func(b *testing.B) {
-		if !mmapSupported || !canCast {
+		if !artifact.MmapOpenSupported {
 			b.Skip("platform cannot map")
 		}
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			a, err := Open(path, OpenOptions{})
+			a, err := artifact.Open(path, artifact.OpenOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -47,7 +48,7 @@ func BenchmarkArtifactOpen(b *testing.B) {
 	b.Run("heap", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			a, err := Open(path, OpenOptions{ForceHeap: true})
+			a, err := artifact.Open(path, artifact.OpenOptions{ForceHeap: true})
 			if err != nil {
 				b.Fatal(err)
 			}

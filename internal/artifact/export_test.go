@@ -1,0 +1,7 @@
+package artifact
+
+// MmapOpenSupported reports whether this platform can serve the mmap loader
+// (map support and safe []byte→[]float64 casting) — exported for the
+// external benchmark package, which cannot live inside package artifact
+// without creating an import cycle through internal/mpc.
+var MmapOpenSupported = mmapSupported && canCast

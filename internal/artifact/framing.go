@@ -1,0 +1,85 @@
+package artifact
+
+// Shared low-level framing helpers: CRC-32C checksums and atomic
+// temp+fsync+rename file creation. The artifact container (write.go) and
+// the extmem run files are both built on these, so every on-disk format in
+// the repo shares one definition of "checksummed, crash-safe file".
+
+import (
+	"hash"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"mpcspanner/internal/core"
+)
+
+// Checksum returns the CRC-32C (Castagnoli) of b — the checksum algorithm
+// every on-disk format in this repo uses.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// NewChecksum returns an incremental CRC-32C hash for streaming writers
+// that cannot hold the whole payload in memory.
+func NewChecksum() hash.Hash32 { return crc32.New(castagnoli) }
+
+// AtomicFile stages a file next to its final path and renames it into place
+// on Commit, so a crashed writer never leaves a half-written file where a
+// reader will find it.
+type AtomicFile struct {
+	f    *os.File
+	path string
+	done bool
+}
+
+// CreateAtomic opens a temp file in path's directory, staged to become path
+// on Commit. Errors are typed *core.ArtifactError.
+func CreateAtomic(path string) (*AtomicFile, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, core.ArtifactErrorf(path, "", err, "creating temp file: %v", err)
+	}
+	return &AtomicFile{f: f, path: path}, nil
+}
+
+// Write appends to the staged file.
+func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// WriteAt writes at an absolute offset in the staged file — how a streaming
+// writer back-patches a header once counts and checksums are known.
+func (a *AtomicFile) WriteAt(p []byte, off int64) (int, error) { return a.f.WriteAt(p, off) }
+
+// Commit fsyncs, closes, and renames the staged file over the final path.
+// After Commit (success or failure) the temp file is gone.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return core.ArtifactErrorf(a.path, "", nil, "commit on a finished atomic file")
+	}
+	a.done = true
+	name := a.f.Name()
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(name)
+		return core.ArtifactErrorf(a.path, "", err, "syncing: %v", err)
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(name)
+		return core.ArtifactErrorf(a.path, "", err, "closing: %v", err)
+	}
+	if err := os.Rename(name, a.path); err != nil {
+		os.Remove(name)
+		return core.ArtifactErrorf(a.path, "", err, "renaming into place: %v", err)
+	}
+	return nil
+}
+
+// Abort discards the staged file. A no-op after Commit, so it is safe to
+// defer unconditionally.
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	name := a.f.Name()
+	a.f.Close()
+	os.Remove(name)
+}

@@ -1,0 +1,84 @@
+package artifact
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"mpcspanner/internal/graph"
+)
+
+// lazyRowsArtifact writes an artifact whose frozen-row payload dominates the
+// file: rows×n float64s ≫ graph sections.
+func lazyRowsArtifact(t *testing.T, n, nrows int) (string, [][]float64) {
+	t.Helper()
+	g := graph.Connectify(graph.GNP(n, 4/float64(n), graph.UniformWeight(1, 50), 7), 50)
+	srcs := make([]int, nrows)
+	rows := make([][]float64, nrows)
+	for i := range rows {
+		srcs[i] = i * (n / nrows)
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = float64(i*n + j)
+		}
+		rows[i] = row
+	}
+	path := filepath.Join(t.TempDir(), "lazy.bin")
+	if err := Write(path, Payload{Graph: g, RowSources: srcs, Rows: rows}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return path, rows
+}
+
+// TestHeapOpenDecodesRowsLazily pins the ROADMAP item-2 fix: a ForceHeap
+// open must not materialize every frozen row up front. The file is ~row
+// data, so an eager decode would allocate at least 2× the file size (heap
+// copy of the file + all decoded rows); the lazy loader stays well under.
+func TestHeapOpenDecodesRowsLazily(t *testing.T) {
+	const n, nrows = 4096, 64
+	path, want := lazyRowsArtifact(t, n, nrows)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	a, err := Open(path, OpenOptions{ForceHeap: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer a.Close()
+	runtime.ReadMemStats(&after)
+
+	rowBytes := uint64(nrows * n * 8)
+	alloc := after.TotalAlloc - before.TotalAlloc
+	// One file copy plus graph decode plus slack; eager row decode would
+	// add another rowBytes on top and trip this.
+	if limit := rowBytes + rowBytes/2; alloc > limit {
+		t.Fatalf("heap open allocated %d bytes for a %d-byte row payload; rows are being decoded eagerly (limit %d)",
+			alloc, rowBytes, limit)
+	}
+
+	// On-demand decode still serves the right values, memoized: the second
+	// request for a source returns the same slice with zero allocations.
+	r := RowsOf(a)
+	for i, src := range r.Sources() {
+		got, ok := r.FrozenRow(src)
+		if !ok {
+			t.Fatalf("FrozenRow(%d): not found", src)
+		}
+		for j, v := range got {
+			if v != want[i][j] {
+				t.Fatalf("row %d[%d] = %v, want %v", src, j, v, want[i][j])
+			}
+		}
+	}
+	src := r.Sources()[nrows/2]
+	first, _ := r.FrozenRow(src)
+	if avg := testing.AllocsPerRun(100, func() {
+		again, _ := r.FrozenRow(src)
+		if &again[0] != &first[0] {
+			t.Errorf("FrozenRow(%d) returned a fresh slice on a repeat call", src)
+		}
+	}); avg != 0 {
+		t.Fatalf("repeat FrozenRow allocates %.1f times per call, want 0 (memoization broken)", avg)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"unsafe"
 
 	"mpcspanner/internal/core"
@@ -227,14 +228,14 @@ func (a *Artifact) parse() error {
 		if err != nil {
 			return err
 		}
-		data, err := a.decodeFloat64s(dataB)
-		if err != nil {
-			return err
-		}
 		n := a.meta.N
-		if len(data) != len(srcs)*n {
+		if len(dataB)%8 != 0 {
 			return core.ArtifactErrorf(path, "row-data", nil,
-				"%d row values for %d sources over n=%d vertices", len(data), len(srcs), n)
+				"section length %d is not a multiple of 8", len(dataB))
+		}
+		if len(dataB)/8 != len(srcs)*n {
+			return core.ArtifactErrorf(path, "row-data", nil,
+				"%d row values for %d sources over n=%d vertices", len(dataB)/8, len(srcs), n)
 		}
 		if len(srcs) != a.meta.Rows {
 			return core.ArtifactErrorf(path, "row-sources", nil,
@@ -250,7 +251,19 @@ func (a *Artifact) parse() error {
 					"row sources not strictly increasing at index %d", i)
 			}
 		}
-		a.rows = &Rows{n: n, srcs: srcs, data: data}
+		if a.mapped && canCast {
+			data, err := a.decodeFloat64s(dataB)
+			if err != nil {
+				return err
+			}
+			a.rows = &Rows{n: n, srcs: srcs, data: data}
+		} else {
+			// Heap path: keep the encoded section bytes and decode rows
+			// on demand, so opening a large artifact does not materialize
+			// every frozen row up front.
+			a.rows = &Rows{n: n, srcs: srcs, raw: dataB,
+				lazy: make([]atomic.Pointer[[]float64], len(srcs))}
+		}
 	} else if a.meta.Rows != 0 {
 		return core.ArtifactErrorf(path, "meta", nil,
 			"meta declares %d rows but the sections are absent", a.meta.Rows)
@@ -310,11 +323,16 @@ func RowsOf(a *Artifact) *Rows { return a.rows }
 
 // Rows is a frozen set of precomputed distance rows, servable behind the
 // oracle cache (it implements oracle.RowSource). For mapped artifacts the
-// data aliases the read-only file mapping.
+// data aliases the read-only file mapping zero-copy; for heap opens the
+// encoded bytes are kept and each row is decoded the first time it is
+// requested, memoized so repeated queries for the same source share one
+// slice.
 type Rows struct {
 	n    int
 	srcs []int
-	data []float64
+	data []float64                   // cast path: all rows, zero-copy
+	raw  []byte                      // heap path: encoded row payload
+	lazy []atomic.Pointer[[]float64] // heap path: rows decoded on demand
 }
 
 // Len returns the number of frozen rows.
@@ -344,7 +362,21 @@ func (r *Rows) FrozenRow(src int) ([]float64, bool) {
 	if i >= len(r.srcs) || r.srcs[i] != src {
 		return nil, false
 	}
-	return r.data[i*r.n : (i+1)*r.n : (i+1)*r.n], true
+	if r.data != nil {
+		return r.data[i*r.n : (i+1)*r.n : (i+1)*r.n], true
+	}
+	if p := r.lazy[i].Load(); p != nil {
+		return *p, true
+	}
+	row := make([]float64, r.n)
+	b := r.raw[i*r.n*8:]
+	for j := range row {
+		row[j] = math.Float64frombits(binary.LittleEndian.Uint64(b[j*8:]))
+	}
+	// Racing decoders produce identical rows; keep whichever landed first
+	// so every caller shares one slice.
+	r.lazy[i].CompareAndSwap(nil, &row)
+	return *r.lazy[i].Load(), true
 }
 
 // --- section decoding ---------------------------------------------------

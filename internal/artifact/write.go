@@ -5,8 +5,6 @@ import (
 	"encoding/json"
 	"hash/crc32"
 	"math"
-	"os"
-	"path/filepath"
 	"sort"
 
 	"mpcspanner/internal/core"
@@ -168,29 +166,18 @@ func (w *writer) commit(path string) error {
 	binary.LittleEndian.PutUint32(hdr[20:], crc32.Checksum(hdr[:20], castagnoli))
 	copy(hdr[headerSize:], table)
 
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	af, err := CreateAtomic(path)
 	if err != nil {
-		return core.ArtifactErrorf(path, "", err, "creating temp file: %v", err)
+		return err
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(hdr); err == nil {
-		_, err = tmp.Write(w.body)
+	defer af.Abort()
+	if _, err := af.Write(hdr); err == nil {
+		_, err = af.Write(w.body)
 	}
 	if err != nil {
-		tmp.Close()
 		return core.ArtifactErrorf(path, "", err, "writing: %v", err)
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return core.ArtifactErrorf(path, "", err, "syncing: %v", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return core.ArtifactErrorf(path, "", err, "closing: %v", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return core.ArtifactErrorf(path, "", err, "renaming into place: %v", err)
-	}
-	return nil
+	return af.Commit()
 }
 
 // The encode* helpers below are the single definition of the on-disk

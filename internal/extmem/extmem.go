@@ -1,0 +1,684 @@
+// Package extmem is a spillable fixed-record tuple store: the out-of-core
+// backend that makes the MPC model's per-machine memory S = n^γ a real byte
+// budget instead of an accounting fiction. A store holds an ordered
+// sequence of records. Under its budget everything is resident and every
+// operation runs the same in-memory algorithms as the resident simulator;
+// past it, contents live in CRC-32C-checksummed run files (run.go) and the
+// streaming forms of each operation take over — chunked stable sorts plus
+// external merges for Sort, frame-at-a-time rewrites for Update/Filter,
+// carry-buffered batching for segment walks.
+//
+// The determinism contract every layer above relies on: a stable sort has
+// exactly one output permutation, so sorting chunks stably (with the same
+// par primitives the resident path uses) and merging them with a stable,
+// lower-run-first merge reproduces the resident order bit for bit, at every
+// worker count and every budget.
+package extmem
+
+import (
+	"math"
+	"os"
+
+	"mpcspanner/internal/obs"
+	"mpcspanner/internal/par"
+)
+
+// Codec fixes the on-disk encoding of one record: Size bytes, written by
+// Encode and inverted by Decode. The encoding must be a pure function of
+// the record so spilled bytes round-trip exactly.
+type Codec[T any] struct {
+	Size   int
+	Encode func(dst []byte, t *T)
+	Decode func(src []byte, t *T)
+}
+
+// Options configures a Store.
+type Options struct {
+	// Budget is the byte budget for resident record state. <= 0 means
+	// unlimited: the store never spills. The budget covers the store's own
+	// buffers (resident records, sort scratch, merge frames); pathological
+	// inputs — a single segment larger than the budget — grow past it
+	// rather than fail, since correctness outranks the cap.
+	Budget int64
+
+	// Dir is where run files live; "" uses the system temp directory. A
+	// private subdirectory is always created (and removed on Close).
+	Dir string
+
+	// Workers bounds parallelism inside sorts and segment fan-outs,
+	// resolved through par.Workers (0 = GOMAXPROCS).
+	Workers int
+
+	// Metrics receives the extmem_* series; nil disables instrumentation.
+	Metrics *Metrics
+}
+
+// Metrics are the store's obs series. Construct with NewMetrics; a nil
+// *Metrics (or nil fields) is silently inert.
+type Metrics struct {
+	SpillBytes   *obs.Counter // extmem_spill_bytes_total
+	Runs         *obs.Counter // extmem_runs_total
+	MergePasses  *obs.Counter // extmem_merge_passes_total
+	ResidentPeak *obs.Gauge   // extmem_resident_peak_bytes
+	Budget       *obs.Gauge   // extmem_budget_bytes
+}
+
+// NewMetrics registers the extmem series on r (nil r gives nil metrics).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		SpillBytes:   r.Counter("extmem_spill_bytes_total"),
+		Runs:         r.Counter("extmem_runs_total"),
+		MergePasses:  r.Counter("extmem_merge_passes_total"),
+		ResidentPeak: r.Gauge("extmem_resident_peak_bytes"),
+		Budget:       r.Gauge("extmem_budget_bytes"),
+	}
+}
+
+// Stats is a point-in-time snapshot of a store's spill accounting.
+type Stats struct {
+	BudgetBytes       int64 // configured budget (0 = unlimited)
+	SpilledBytes      int64 // total payload bytes written to run files
+	RunFiles          int64 // total run files written
+	MergePasses       int64 // external merge levels executed
+	ResidentPeakBytes int64 // high-water of in-memory record bytes
+}
+
+const (
+	minChunkRecs = 1 << 10
+	minFrameRecs = 1 << 7
+)
+
+// Store is an ordered sequence of fixed-size records that spills to disk
+// past its byte budget. It is not safe for concurrent use; the parallelism
+// lives inside each operation.
+type Store[T any] struct {
+	codec   Codec[T]
+	workers int
+	budget  int64
+	baseDir string
+	met     *Metrics
+
+	// chunkRecs is both the resident capacity and the unit of external
+	// sorting: the largest record count whose chunk + sort scratch fits the
+	// budget. frameRecs is the streaming I/O slab, in records.
+	chunkRecs int
+	frameRecs int
+
+	mem  []T        // resident contents when runs is nil
+	runs []*runFile // spilled contents otherwise; concatenation in order
+	n    int        // logical record count, both modes
+
+	dir  string // private run directory, created on first spill
+	seq  int
+	keep []bool // scratch mask for filters
+
+	// Sort scratch, retained across sorts (≤ one chunk each).
+	sortKeys []uint64
+	sortIdx  []uint32
+	sortBuf  []T
+	sorter   par.RadixSorter
+
+	stats Stats
+}
+
+// NewStore builds a store for codec under opt. Codec misuse is a
+// programmer error and panics.
+func NewStore[T any](codec Codec[T], opt Options) *Store[T] {
+	if codec.Size <= 0 || codec.Encode == nil || codec.Decode == nil {
+		panic("extmem: incomplete codec")
+	}
+	s := &Store[T]{
+		codec:   codec,
+		workers: par.Workers(opt.Workers),
+		budget:  opt.Budget,
+		baseDir: opt.Dir,
+		met:     opt.Metrics,
+	}
+	if opt.Budget > 0 {
+		// A sort chunk costs chunk + merge scratch (2 records each) plus
+		// radix keys+index (12 bytes); the frames of a binary merge are a
+		// fraction of that.
+		c := int(opt.Budget) / (2*codec.Size + 16)
+		if c < minChunkRecs {
+			c = minChunkRecs
+		}
+		s.chunkRecs = c
+		s.frameRecs = c / 8
+		if s.frameRecs < minFrameRecs {
+			s.frameRecs = minFrameRecs
+		}
+		s.stats.BudgetBytes = opt.Budget
+		if s.met != nil && s.met.Budget != nil {
+			s.met.Budget.Set(opt.Budget)
+		}
+	} else {
+		s.chunkRecs = math.MaxInt
+		s.frameRecs = 1 << 13
+	}
+	return s
+}
+
+// Len returns the logical record count.
+func (s *Store[T]) Len() int { return s.n }
+
+// Spilled reports whether the contents currently live in run files.
+func (s *Store[T]) Spilled() bool { return len(s.runs) > 0 }
+
+// Stats snapshots the spill accounting.
+func (s *Store[T]) Stats() Stats { return s.stats }
+
+// Close deletes the store's run directory. Idempotent; the store is empty
+// afterwards.
+func (s *Store[T]) Close() error {
+	s.mem, s.runs, s.n = nil, nil, 0
+	if s.dir != "" {
+		dir := s.dir
+		s.dir = ""
+		return os.RemoveAll(dir)
+	}
+	return nil
+}
+
+func (s *Store[T]) ensureDir() error {
+	if s.dir != "" {
+		return nil
+	}
+	dir, err := os.MkdirTemp(s.baseDir, "extmem-*")
+	if err != nil {
+		return err
+	}
+	s.dir = dir
+	return nil
+}
+
+func (s *Store[T]) noteSpill(bytes int64) {
+	s.stats.SpilledBytes += bytes
+	s.stats.RunFiles++
+	if s.met != nil {
+		if s.met.SpillBytes != nil {
+			s.met.SpillBytes.Add(bytes)
+		}
+		if s.met.Runs != nil {
+			s.met.Runs.Inc()
+		}
+	}
+}
+
+func (s *Store[T]) noteMergePass() {
+	s.stats.MergePasses++
+	if s.met != nil && s.met.MergePasses != nil {
+		s.met.MergePasses.Inc()
+	}
+}
+
+func (s *Store[T]) noteResident(recs int) {
+	b := int64(recs) * int64(s.codec.Size)
+	if b > s.stats.ResidentPeakBytes {
+		s.stats.ResidentPeakBytes = b
+	}
+	if s.met != nil && s.met.ResidentPeak != nil {
+		s.met.ResidentPeak.SetMax(b)
+	}
+}
+
+// LoadFrom replaces the contents with the records fill emits, in emission
+// order. hint sizes the resident buffer; emitting more than the budget
+// allows switches to spilling mid-load, so the caller can stream a
+// collection it could never hold in memory.
+func (s *Store[T]) LoadFrom(hint int, fill func(emit func(T))) error {
+	if err := s.reset(); err != nil {
+		return err
+	}
+	capHint := hint
+	if capHint > s.chunkRecs {
+		capHint = s.chunkRecs
+	}
+	if cap(s.mem) < capHint {
+		s.mem = make([]T, 0, capHint)
+	}
+	var failed error
+	emit := func(t T) {
+		if failed != nil {
+			return
+		}
+		if len(s.mem) == s.chunkRecs {
+			if err := s.flushMem(); err != nil {
+				failed = err
+				return
+			}
+		}
+		s.mem = append(s.mem, t)
+		s.n++
+	}
+	fill(emit)
+	if failed != nil {
+		return failed
+	}
+	s.noteResident(len(s.mem))
+	if len(s.runs) > 0 && len(s.mem) > 0 {
+		return s.flushMem()
+	}
+	return nil
+}
+
+// flushMem writes the resident buffer out as one run and empties it.
+func (s *Store[T]) flushMem() error {
+	w, err := s.newRunWriter()
+	if err != nil {
+		return err
+	}
+	if err := w.add(s.mem); err != nil {
+		w.abort()
+		return err
+	}
+	rf, err := w.finish()
+	if err != nil {
+		return err
+	}
+	s.noteResident(len(s.mem))
+	s.runs = append(s.runs, rf)
+	s.mem = s.mem[:0]
+	return nil
+}
+
+// Scan calls fn once per record, in order. Mutations through the pointer
+// are not persisted on the spilled path; use Update for that.
+func (s *Store[T]) Scan(fn func(*T)) error {
+	if len(s.runs) == 0 {
+		for i := range s.mem {
+			fn(&s.mem[i])
+		}
+		return nil
+	}
+	frame := make([]T, s.frameRecs)
+	return s.streamRuns(frame, func(batch []T) error {
+		for i := range batch {
+			fn(&batch[i])
+		}
+		return nil
+	})
+}
+
+// Update applies fn to every record in place, in parallel within frames.
+// fn must be safe to call concurrently and depend only on its record.
+func (s *Store[T]) Update(fn func(*T)) error {
+	if len(s.runs) == 0 {
+		mem := s.mem
+		par.For(s.workers, len(mem), func(i int) { fn(&mem[i]) })
+		return nil
+	}
+	frame := make([]T, s.frameRecs)
+	out := make([]*runFile, 0, len(s.runs))
+	for _, rf := range s.runs {
+		r, err := s.openRun(rf)
+		if err != nil {
+			return err
+		}
+		w, err := s.newRunWriter()
+		if err != nil {
+			r.close()
+			return err
+		}
+		for {
+			n, err := r.fill(frame)
+			if err != nil {
+				r.close()
+				w.abort()
+				return err
+			}
+			if n == 0 {
+				break
+			}
+			batch := frame[:n]
+			par.For(s.workers, n, func(i int) { fn(&batch[i]) })
+			if err := w.add(batch); err != nil {
+				r.close()
+				w.abort()
+				return err
+			}
+		}
+		r.close()
+		nf, err := w.finish()
+		if err != nil {
+			return err
+		}
+		os.Remove(rf.path)
+		out = append(out, nf)
+	}
+	s.runs = out
+	return nil
+}
+
+// Filter keeps exactly the records keep reports true for, preserving
+// order. keep must be pure and safe to call concurrently.
+func (s *Store[T]) Filter(keep func(*T) bool) error {
+	if len(s.runs) == 0 {
+		mem := s.mem
+		mask := s.mask(len(mem))
+		par.For(s.workers, len(mem), func(i int) { mask[i] = keep(&mem[i]) })
+		s.mem = compact(mem, mask)
+		s.n = len(s.mem)
+		return nil
+	}
+	frame := make([]T, s.frameRecs)
+	out, err := s.newRollingWriter()
+	if err != nil {
+		return err
+	}
+	total := 0
+	err = s.streamRuns(frame, func(batch []T) error {
+		mask := s.mask(len(batch))
+		par.For(s.workers, len(batch), func(i int) { mask[i] = keep(&batch[i]) })
+		kept := compact(batch, mask)
+		total += len(kept)
+		return out.add(kept)
+	})
+	if err != nil {
+		out.abort()
+		return err
+	}
+	return s.adoptRuns(out, total)
+}
+
+// Segments walks maximal runs of adjacent records for which same holds,
+// invoking fn concurrently across segments. shard identifies the calling
+// worker (always < max(1, Workers)) so fn can use per-shard accumulators;
+// segment-to-shard assignment is not deterministic across budgets, so the
+// accumulation must be order-independent. Typically preceded by a sort
+// that makes segments meaningful.
+func (s *Store[T]) Segments(same func(a, b *T) bool, fn func(shard int, seg []T)) error {
+	if len(s.runs) == 0 {
+		s.batchSegments(s.mem, same, fn)
+		return nil
+	}
+	return s.carryBatches(same, func(batch []T) error {
+		s.batchSegments(batch, same, fn)
+		return nil
+	})
+}
+
+// FilterSegments walks segments like Segments and lets decide mark which
+// records of each survive: decide fills keep (len(seg), pre-false) and the
+// store compacts accordingly, preserving order. decide must be pure per
+// segment and safe to call concurrently.
+func (s *Store[T]) FilterSegments(same func(a, b *T) bool, decide func(seg []T, keep []bool)) error {
+	if len(s.runs) == 0 {
+		mask := s.mask(len(s.mem))
+		s.batchDecide(s.mem, mask, same, decide)
+		s.mem = compact(s.mem, mask)
+		s.n = len(s.mem)
+		return nil
+	}
+	out, err := s.newRollingWriter()
+	if err != nil {
+		return err
+	}
+	total := 0
+	err = s.carryBatches(same, func(batch []T) error {
+		mask := s.mask(len(batch))
+		s.batchDecide(batch, mask, same, decide)
+		kept := compact(batch, mask)
+		total += len(kept)
+		return out.add(kept)
+	})
+	if err != nil {
+		out.abort()
+		return err
+	}
+	return s.adoptRuns(out, total)
+}
+
+// batchSegments fans the segments of one in-memory batch out across
+// workers.
+func (s *Store[T]) batchSegments(batch []T, same func(a, b *T) bool, fn func(shard int, seg []T)) {
+	starts := boundaries(batch, same)
+	nseg := len(starts) - 1
+	if nseg <= 0 {
+		return
+	}
+	par.ForShard(s.workers, nseg, func(shard, lo, hi int) {
+		for si := lo; si < hi; si++ {
+			fn(shard, batch[starts[si]:starts[si+1]])
+		}
+	})
+}
+
+// batchDecide runs decide over every segment of batch, filling mask.
+func (s *Store[T]) batchDecide(batch []T, mask []bool, same func(a, b *T) bool, decide func(seg []T, keep []bool)) {
+	starts := boundaries(batch, same)
+	nseg := len(starts) - 1
+	if nseg <= 0 {
+		return
+	}
+	par.ForShard(s.workers, nseg, func(_, lo, hi int) {
+		for si := lo; si < hi; si++ {
+			decide(batch[starts[si]:starts[si+1]], mask[starts[si]:starts[si+1]])
+		}
+	})
+}
+
+// boundaries returns segment start offsets for batch under same, with a
+// trailing len(batch) sentinel.
+func boundaries[T any](batch []T, same func(a, b *T) bool) []int {
+	starts := []int{0}
+	for i := 1; i < len(batch); i++ {
+		if !same(&batch[i-1], &batch[i]) {
+			starts = append(starts, i)
+		}
+	}
+	if len(batch) == 0 {
+		return []int{0}
+	}
+	return append(starts, len(batch))
+}
+
+// carryBatches streams the spilled contents through process in batches
+// that never split a segment: records accumulate in a carry buffer until
+// it holds at least a chunk, everything up to the last segment boundary is
+// processed, and the unfinished tail carries into the next batch. A single
+// segment larger than a chunk grows the carry past the budget — the
+// documented pathological case.
+func (s *Store[T]) carryBatches(same func(a, b *T) bool, process func(batch []T) error) error {
+	frame := make([]T, s.frameRecs)
+	carry := make([]T, 0, s.chunkRecs+s.frameRecs)
+	err := s.streamRuns(frame, func(batch []T) error {
+		carry = append(carry, batch...)
+		if len(carry) < s.chunkRecs {
+			return nil
+		}
+		cut := len(carry) - 1
+		for cut > 0 && same(&carry[cut-1], &carry[cut]) {
+			cut--
+		}
+		if cut == 0 {
+			return nil // one giant segment so far; keep growing
+		}
+		s.noteResident(len(carry))
+		if err := process(carry[:cut]); err != nil {
+			return err
+		}
+		carry = append(carry[:0], carry[cut:]...)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.noteResident(len(carry))
+	return process(carry)
+}
+
+// streamRuns reads every run in order, passing decoded frames to process.
+func (s *Store[T]) streamRuns(frame []T, process func(batch []T) error) error {
+	for _, rf := range s.runs {
+		r, err := s.openRun(rf)
+		if err != nil {
+			return err
+		}
+		for {
+			n, err := r.fill(frame)
+			if err != nil {
+				r.close()
+				return err
+			}
+			if n == 0 {
+				break
+			}
+			if err := process(frame[:n]); err != nil {
+				r.close()
+				return err
+			}
+		}
+		r.close()
+	}
+	return nil
+}
+
+// rollingWriter accumulates records into run files cut at chunkRecs, the
+// shape Filter and FilterSegments rebuild the store in.
+type rollingWriter[T any] struct {
+	s    *Store[T]
+	cur  *runWriter[T]
+	runs []*runFile
+}
+
+func (s *Store[T]) newRollingWriter() (*rollingWriter[T], error) {
+	return &rollingWriter[T]{s: s}, nil
+}
+
+func (rw *rollingWriter[T]) add(recs []T) error {
+	for len(recs) > 0 {
+		if rw.cur == nil {
+			w, err := rw.s.newRunWriter()
+			if err != nil {
+				return err
+			}
+			rw.cur = w
+		}
+		room := rw.s.chunkRecs - rw.cur.count
+		take := len(recs)
+		if take > room {
+			take = room
+		}
+		if err := rw.cur.add(recs[:take]); err != nil {
+			return err
+		}
+		recs = recs[take:]
+		if rw.cur.count >= rw.s.chunkRecs {
+			if err := rw.roll(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (rw *rollingWriter[T]) roll() error {
+	rf, err := rw.cur.finish()
+	rw.cur = nil
+	if err != nil {
+		return err
+	}
+	rw.runs = append(rw.runs, rf)
+	return nil
+}
+
+func (rw *rollingWriter[T]) finish() ([]*runFile, error) {
+	if rw.cur != nil && rw.cur.count > 0 {
+		if err := rw.roll(); err != nil {
+			return nil, err
+		}
+	}
+	if rw.cur != nil {
+		rw.cur.abort()
+		rw.cur = nil
+	}
+	return rw.runs, nil
+}
+
+func (rw *rollingWriter[T]) abort() {
+	if rw.cur != nil {
+		rw.cur.abort()
+		rw.cur = nil
+	}
+	for _, rf := range rw.runs {
+		os.Remove(rf.path)
+	}
+}
+
+// adoptRuns replaces the spilled contents with out's runs (total records),
+// deleting the old files and unspilling if the survivors fit the budget.
+func (s *Store[T]) adoptRuns(out *rollingWriter[T], total int) error {
+	runs, err := out.finish()
+	if err != nil {
+		return err
+	}
+	for _, rf := range s.runs {
+		os.Remove(rf.path)
+	}
+	s.runs = runs
+	s.n = total
+	return s.maybeUnspill()
+}
+
+// maybeUnspill pulls the contents back into memory once they fit the
+// budget again, so a store that shrank stops paying streaming costs.
+func (s *Store[T]) maybeUnspill() error {
+	if len(s.runs) == 0 || s.n > s.chunkRecs {
+		return nil
+	}
+	mem := make([]T, 0, s.n)
+	frame := make([]T, s.frameRecs)
+	err := s.streamRuns(frame, func(batch []T) error {
+		mem = append(mem, batch...)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, rf := range s.runs {
+		os.Remove(rf.path)
+	}
+	s.runs = nil
+	s.mem = mem
+	s.n = len(mem)
+	s.noteResident(len(mem))
+	return nil
+}
+
+// reset drops all contents, keeping allocated buffers where possible.
+func (s *Store[T]) reset() error {
+	for _, rf := range s.runs {
+		os.Remove(rf.path)
+	}
+	s.runs = nil
+	s.mem = s.mem[:0]
+	s.n = 0
+	return nil
+}
+
+// mask returns the filter scratch mask, zeroed, of length n.
+func (s *Store[T]) mask(n int) []bool {
+	if cap(s.keep) < n {
+		s.keep = make([]bool, n)
+	}
+	m := s.keep[:n]
+	for i := range m {
+		m[i] = false
+	}
+	return m
+}
+
+// compact keeps data[i] where mask[i], in place, returning the kept prefix.
+func compact[T any](data []T, mask []bool) []T {
+	k := 0
+	for i := range data {
+		if mask[i] {
+			data[k] = data[i]
+			k++
+		}
+	}
+	return data[:k]
+}

@@ -76,6 +76,14 @@ type Options struct {
 	// bit-identical at every worker count; negative values are rejected.
 	Workers int
 
+	// MemoryBudget, when positive, caps the host-process bytes the tuple
+	// store may keep resident: contents past the budget spill to
+	// internal/extmem run files and global sorts run as external merge
+	// sorts. The constructed spanner and the simulated round bill are
+	// bit-identical to an unbudgeted build at every worker count. Zero or
+	// negative keeps everything resident (today's zero-overhead path).
+	MemoryBudget int64
+
 	// Progress, when non-nil, receives one core.ProgressEvent per simulated
 	// checkpoint ("mpc-grow" per grow iteration, "mpc-contract" per epoch,
 	// "mpc-phase2"), carrying the round bill so far. Emitted synchronously
@@ -107,6 +115,14 @@ type Result struct {
 	TreeOps          int   // aggregation-tree operations executed
 	TuplesMoved      int64 // total communication volume in tuples
 	Workers          int   // resolved goroutine pool size of the run
+
+	// Out-of-core profile of a budgeted run (zero when Options.MemoryBudget
+	// was unset): the byte budget in force, cumulative bytes spilled to
+	// extmem run files, run files written, and external merge passes.
+	MemoryBudget int64
+	SpilledBytes int64
+	SpillRuns    int64
+	MergePasses  int64
 }
 
 // BuildSpanner executes the general algorithm (Section 5) on the simulated
@@ -154,25 +170,26 @@ func BuildSpannerCtx(ctx context.Context, g *graph.Graph, k, t int, seed uint64,
 // shuffle, enc == nil runs the comparator fallback. Both produce the same
 // spanner and the same round bill (the equivalence tests exercise the pair).
 func buildSpanner(ctx context.Context, g *graph.Graph, k, t int, seed uint64, opt Options, enc *keyEncoding) (*Result, error) {
-	sim, err := NewSim(g.N(), 2*g.M(), opt.Gamma)
+	sim, err := NewSimBudget(g.N(), 2*g.M(), opt.Gamma, opt.MemoryBudget)
 	if err != nil {
 		return nil, err
 	}
+	defer sim.Close()
 	sim.SetWorkers(opt.Workers)
 	sim.SetMetrics(opt.Metrics)
 	iterSeconds := opt.Metrics.Histogram("mpc_iteration_seconds", obs.LatencyBuckets)
 
 	// Input: two directed copies of every edge; supernode and cluster
-	// labels start as the vertex itself.
-	tuples := make([]Tuple, 0, 2*g.M())
-	for id, e := range g.Edges() {
-		u, v := int32(e.U), int32(e.V)
-		tuples = append(tuples,
-			Tuple{Src: u, Dst: v, CSrc: u, CDst: v, W: e.W, Orig: int32(id)},
-			Tuple{Src: v, Dst: u, CSrc: v, CDst: u, W: e.W, Orig: int32(id)},
-		)
-	}
-	if err := sim.Load(tuples); err != nil {
+	// labels start as the vertex itself. Streamed through the store so a
+	// budgeted build never materializes the 2m-tuple slice.
+	err = sim.LoadFrom(2*g.M(), func(emit func(Tuple)) {
+		for id, e := range g.Edges() {
+			u, v := int32(e.U), int32(e.V)
+			emit(Tuple{Src: u, Dst: v, CSrc: u, CDst: v, W: e.W, Orig: int32(id)})
+			emit(Tuple{Src: v, Dst: u, CSrc: v, CDst: u, W: e.W, Orig: int32(id)})
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
 
@@ -229,7 +246,9 @@ func buildSpanner(ctx context.Context, g *graph.Graph, k, t int, seed uint64, op
 		if err := dedupPairs(sim, enc); err != nil {
 			return nil, err
 		}
-		sim.Scan(func(t *Tuple) { ds.addSpanner(t.Orig) })
+		if err := sim.Scan(func(t *Tuple) { ds.addSpanner(t.Orig) }); err != nil {
+			return nil, err
+		}
 	}
 	emit("mpc-phase2", 0, len(schedule))
 
@@ -247,6 +266,12 @@ func buildSpanner(ctx context.Context, g *graph.Graph, k, t int, seed uint64, op
 	res.Sorts = sim.Sorts()
 	res.TreeOps = sim.TreeOps()
 	res.TuplesMoved = sim.TuplesMoved()
+	if st := sim.SpillStats(); st.BudgetBytes > 0 {
+		res.MemoryBudget = st.BudgetBytes
+		res.SpilledBytes = st.SpilledBytes
+		res.SpillRuns = st.RunFiles
+		res.MergePasses = st.MergePasses
+	}
 	return res, nil
 }
 
@@ -295,11 +320,12 @@ type driverScratch struct {
 	inSpanner []bool // edge id -> chosen (ascending scan = sorted EdgeIDs)
 	spanCount int
 
-	parts    []decisionPart
-	groups   [][]groupMin // per-shard group-minima buffer
-	badTuple []int
-	removes  map[pairKey]struct{}
-	joins    map[int32]joinRec
+	parts   []decisionPart
+	groups  [][]groupMin // per-shard group-minima buffer
+	badFlag []bool       // per-shard dead-label fail-fast flags
+	badTup  []Tuple      // the offending tuple each failing shard saw first
+	removes map[pairKey]struct{}
+	joins   map[int32]joinRec
 }
 
 func newDriverScratch(m, workers int) *driverScratch {
@@ -307,7 +333,8 @@ func newDriverScratch(m, workers int) *driverScratch {
 		inSpanner: make([]bool, m),
 		parts:     make([]decisionPart, workers),
 		groups:    make([][]groupMin, workers),
-		badTuple:  make([]int, workers),
+		badFlag:   make([]bool, workers),
+		badTup:    make([]Tuple, workers),
 		removes:   make(map[pairKey]struct{}),
 		joins:     make(map[int32]joinRec),
 	}
@@ -342,30 +369,28 @@ func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, ds *drive
 	// decision-gather tree, charged below as before. Per-shard decision
 	// lists concatenate in shard order, which equals segment order, so the
 	// merged decisions are identical at every worker count.
-	starts := sim.SegmentStarts(func(a, b *Tuple) bool { return a.Src == b.Src })
-	data := sim.Data()
 	parts := ds.parts
 	for i := range parts {
 		parts[i].reset()
 	}
-	// badTuple[shard] records the first dead-labeled tuple a shard saw
-	// (index+1 into data), so the fail-fast error can name the tuple; the
-	// lowest shard's find is reported, matching the serial scan order.
-	badTuple := ds.badTuple
-	for i := range badTuple {
-		badTuple[i] = 0
+	// badFlag/badTup record the first dead-labeled tuple each shard saw, so
+	// the fail-fast error can name the tuple; the lowest shard's find is
+	// reported, matching the serial scan order.
+	badFlag, badTup := ds.badFlag, ds.badTup
+	for i := range badFlag {
+		badFlag[i] = false
 	}
 	groupsByShard := ds.groups // reused across each shard's segments
-	sim.ForSegments(starts, func(shard, si, lo, hi int) {
-		if badTuple[shard] != 0 {
+	segErr := sim.ForEachSegment(func(a, b *Tuple) bool { return a.Src == b.Src }, func(shard int, seg []Tuple) {
+		if badFlag[shard] {
 			return // shard already failing fast
 		}
-		seg := data[lo:hi]
 		// Every tuple must carry live labels, sampled segment or not — the
 		// same invariant the serial scan enforced.
 		for gi := range seg {
 			if seg[gi].CSrc == none || seg[gi].CDst == none {
-				badTuple[shard] = lo + gi + 1
+				badFlag[shard] = true
+				badTup[shard] = seg[gi]
 				return
 			}
 		}
@@ -417,9 +442,12 @@ func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, ds *drive
 			}
 		}
 	})
-	for _, bad := range badTuple {
-		if bad > 0 {
-			return fmt.Errorf("mpc: tuple with dead label survived: %+v", data[bad-1])
+	if segErr != nil {
+		return segErr
+	}
+	for i, bad := range badFlag {
+		if bad {
+			return fmt.Errorf("mpc: tuple with dead label survived: %+v", badTup[i])
 		}
 	}
 	removePairs := ds.removes
@@ -448,7 +476,7 @@ func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, ds *drive
 	}
 	sim.ChargeTree(1)
 
-	sim.Filter(func(t *Tuple) bool {
+	err := sim.Filter(func(t *Tuple) bool {
 		if _, dead := removePairs[pairKey{t.Src, t.CDst}]; dead {
 			return false
 		}
@@ -457,6 +485,9 @@ func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, ds *drive
 		}
 		return true
 	})
+	if err != nil {
+		return err
+	}
 
 	// B5 — cluster labels advance: sampled clusters persist, joiners adopt
 	// their target, everything else would die (and can't appear on a live
@@ -470,20 +501,26 @@ func iterateDistributed(sim *Sim, p float64, epoch, iter, seed uint64, ds *drive
 		}
 		return none
 	}
-	sim.Update(func(t *Tuple) {
+	err = sim.Update(func(t *Tuple) {
 		t.CSrc = relabel(t.Src, t.CSrc)
 		t.CDst = relabel(t.Dst, t.CDst)
 	})
+	if err != nil {
+		return err
+	}
 
 	// B6 — intra-cluster edges vanish; dead labels must not survive.
 	var lostCluster atomic.Int64
-	sim.Filter(func(t *Tuple) bool {
+	err = sim.Filter(func(t *Tuple) bool {
 		if t.CSrc == none || t.CDst == none {
 			lostCluster.Add(1)
 			return false
 		}
 		return t.CSrc != t.CDst
 	})
+	if err != nil {
+		return err
+	}
 	if lostCluster.Load() > 0 {
 		return fmt.Errorf("mpc: %d live tuples lost their cluster in iteration (%d, %d)",
 			lostCluster.Load(), epoch, iter)
@@ -557,9 +594,12 @@ func sortPairs(sim *Sim, enc *keyEncoding) error {
 // (local relabel), then one dedup sort keeps the minimum-weight
 // representative per supernode pair.
 func contractDistributed(sim *Sim, enc *keyEncoding) error {
-	sim.Update(func(t *Tuple) {
+	err := sim.Update(func(t *Tuple) {
 		t.Src, t.Dst = t.CSrc, t.CDst
 	})
+	if err != nil {
+		return err
+	}
 	return dedupPairs(sim, enc)
 }
 
@@ -568,26 +608,21 @@ func contractDistributed(sim *Sim, enc *keyEncoding) error {
 // keep decision is a segmented aggregate: within each pair segment the
 // minimum is the first tuple, and a tuple survives iff it carries the
 // minimum's original edge id — evaluated per segment on the worker pool
-// into the arena's compaction mask.
+// into the store's compaction mask.
 func dedupPairs(sim *Sim, enc *keyEncoding) error {
 	if err := sortPairs(sim, enc); err != nil {
 		return err
 	}
 	sim.ChargeTree(1)
-	starts := sim.SegmentStarts(func(a, b *Tuple) bool {
+	return sim.FilterSegments(func(a, b *Tuple) bool {
 		return a.Src == b.Src && a.Dst == b.Dst ||
 			a.Src == b.Dst && a.Dst == b.Src
-	})
-	data := sim.Data()
-	mask := sim.maskScratch(len(data))
-	sim.ForSegments(starts, func(_, _, lo, hi int) {
-		minOrig := data[lo].Orig
-		for i := lo; i < hi; i++ {
-			mask[i] = data[i].Orig == minOrig
+	}, func(seg []Tuple, keep []bool) {
+		minOrig := seg[0].Orig
+		for i := range seg {
+			keep[i] = seg[i].Orig == minOrig
 		}
 	})
-	sim.Keep(mask)
-	return nil
 }
 
 // RoundBound returns the model-level round budget of Theorem 1.1 for the

@@ -20,6 +20,13 @@
 // memory per machine, total memory — is tracked exactly. The Congested
 // Clique simulator (internal/cclique) additionally enforces per-round
 // message budgets at the node level.
+//
+// Out-of-core execution: the tuples live behind a pluggable store
+// (tupleStore). NewSim keeps everything resident; NewSimBudget caps the
+// process-level tuple memory at a byte budget and spills to
+// internal/extmem run files past it, with every primitive —
+// including the global sorts, which become external merge sorts — producing
+// bit-identical tuple orders to the resident store at every worker count.
 package mpc
 
 import (
@@ -27,6 +34,7 @@ import (
 	"math"
 	"unsafe"
 
+	"mpcspanner/internal/extmem"
 	"mpcspanner/internal/obs"
 	"mpcspanner/internal/par"
 )
@@ -42,10 +50,11 @@ type Tuple struct {
 	Orig       int32 // original edge identifier
 }
 
-// Sim is the machine cluster. Tuples are kept globally sorted-or-not in a
-// single backing slice; machine i owns the i-th contiguous block of at most
-// S tuples (the canonical balanced placement that every [GSZ11] sort
-// re-establishes).
+// Sim is the machine cluster. Tuples live behind a tupleStore: the resident
+// store keeps them in a single backing slice where machine i owns the i-th
+// contiguous block of at most S tuples (the canonical balanced placement
+// that every [GSZ11] sort re-establishes); the spilling store keeps the same
+// logical sequence partly in extmem run files under a byte budget.
 type Sim struct {
 	s int // memory per machine, in tuples
 	p int // number of machines
@@ -56,20 +65,15 @@ type Sim struct {
 	// bit-identical at every worker count.
 	workers int
 
-	data []Tuple
+	// budget, when positive, is the process-level byte cap on tuple storage;
+	// the spilling store materializes lazily at first load (after
+	// SetWorkers/SetMetrics, whose settings it inherits).
+	budget int64
+	reg    *obs.Registry // registry for the spill store's extmem_* series
 
-	// Scratch arena: every buffer below is sized on first use and reused
-	// across rounds, so the steady-state primitives (Sort/SortByKey, Filter,
-	// Keep, SegmentStarts) allocate nothing. Buffers never shrink — the
-	// tuple count only decreases after Load, so first-round sizing is the
-	// high-water mark.
-	mask    []bool          // Filter/Keep compaction mask
-	sortBuf []Tuple         // merge/permutation scratch for the per-round sorts
-	keys    []uint64        // SortByKey: extracted keys
-	idx     []uint32        // SortByKey: permutation carrier
-	sorter  par.RadixSorter // retained radix ping-pong buffers + histograms
-	isStart []bool          // SegmentStarts boundary flags
-	starts  []int           // SegmentStarts result backing store
+	st    tupleStore
+	res   *residentStore // non-nil iff st is the resident store
+	spill *spillStore    // non-nil iff st is the spilling store
 
 	rounds     int
 	sorts      int
@@ -106,8 +110,10 @@ const tupleBytes = int64(unsafe.Sizeof(Tuple{}))
 
 // SetMetrics attaches the simulator's cost counters to r (get-or-create, so
 // multiple Sims sharing a registry aggregate, Prometheus-style). A nil
-// registry detaches: all handles revert to inert nil pointers.
+// registry detaches: all handles revert to inert nil pointers. Call before
+// the first Load for the spilling store's extmem_* series to attach too.
 func (m *Sim) SetMetrics(r *obs.Registry) {
+	m.reg = r
 	if r == nil {
 		m.met = simMetrics{}
 		return
@@ -125,8 +131,21 @@ func (m *Sim) SetMetrics(r *obs.Registry) {
 }
 
 // NewSim sizes a cluster for an n-vertex input of totalTuples tuples with
-// memory exponent gamma ∈ (0, 1]: S = ⌈n^γ⌉, P = ⌈totalTuples/S⌉.
+// memory exponent gamma ∈ (0, 1]: S = ⌈n^γ⌉, P = ⌈totalTuples/S⌉. The
+// tuples are fully resident (no byte budget).
 func NewSim(n, totalTuples int, gamma float64) (*Sim, error) {
+	return NewSimBudget(n, totalTuples, gamma, 0)
+}
+
+// NewSimBudget is NewSim with a process-level byte budget on tuple storage.
+// budget <= 0 means unbudgeted (fully resident, today's zero-overhead
+// path). A positive budget routes the tuples through an internal/extmem
+// spilling store: contents past the budget live in CRC-checked run files,
+// global sorts become external merge sorts, and every primitive's output
+// order is bit-identical to the resident store's. The simulated cost model
+// (rounds, S, P) is unchanged — the budget constrains the host process,
+// not the simulated machines.
+func NewSimBudget(n, totalTuples int, gamma float64, budget int64) (*Sim, error) {
 	if gamma <= 0 || gamma > 1 {
 		return nil, fmt.Errorf("mpc: gamma must lie in (0,1], got %v", gamma)
 	}
@@ -141,13 +160,20 @@ func NewSim(n, totalTuples int, gamma float64) (*Sim, error) {
 	if p < 1 {
 		p = 1
 	}
-	return &Sim{s: s, p: p, workers: 1}, nil
+	res := &residentStore{workers: 1}
+	return &Sim{s: s, p: p, workers: 1, budget: budget, st: res, res: res}, nil
 }
 
 // SetWorkers sizes the goroutine pool that executes the simulated machines'
 // local passes (0 selects GOMAXPROCS, 1 forces serial execution). The
-// simulated cost model is unaffected.
-func (m *Sim) SetWorkers(w int) { m.workers = par.Workers(w) }
+// simulated cost model is unaffected. Call before the first Load: a
+// spilling store pins its pool size when it materializes.
+func (m *Sim) SetWorkers(w int) {
+	m.workers = par.Workers(w)
+	if m.res != nil {
+		m.res.workers = m.workers
+	}
+}
 
 // Workers returns the resolved pool size.
 func (m *Sim) Workers() int { return m.workers }
@@ -178,8 +204,25 @@ func (m *Sim) PeakTotalTuples() int { return m.peakTotal }
 // primitives (a proxy for total communication volume).
 func (m *Sim) TuplesMoved() int64 { return m.totalMoved }
 
-// Len returns the number of resident tuples.
-func (m *Sim) Len() int { return len(m.data) }
+// Len returns the number of stored tuples.
+func (m *Sim) Len() int { return m.st.len() }
+
+// Spilled reports whether any tuples currently live in run files.
+func (m *Sim) Spilled() bool { return m.spill != nil && m.spill.ext.Spilled() }
+
+// SpillStats returns the spilling store's cumulative counters (zero value
+// when the simulator is unbudgeted or nothing has loaded yet).
+func (m *Sim) SpillStats() extmem.Stats {
+	if m.spill == nil {
+		return extmem.Stats{}
+	}
+	return m.spill.ext.Stats()
+}
+
+// Close releases the store. For a spilling store this deletes its run
+// directory; the resident store is a no-op. The simulator must not be used
+// afterwards.
+func (m *Sim) Close() error { return m.st.close() }
 
 // TreeRounds returns the depth of an aggregation tree with fan-in S over the
 // P machines — the cost of Find Minimum / Broadcast in Section 6.
@@ -200,47 +243,80 @@ func (m *Sim) SortRounds() int {
 	return 2*m.TreeRounds() + 1
 }
 
+// ensureStore materializes the spilling store on budgeted simulators, once,
+// at first load — after SetWorkers and SetMetrics, whose pool size and
+// registry it inherits.
+func (m *Sim) ensureStore() {
+	if m.budget <= 0 || m.spill != nil {
+		return
+	}
+	var met *extmem.Metrics
+	if m.reg != nil {
+		met = extmem.NewMetrics(m.reg)
+	}
+	m.spill = newSpillStore(m.budget, m.workers, met)
+	m.st = m.spill
+	m.res = nil
+}
+
 // Load places the input tuples on the cluster (the "arbitrarily distributed
 // input" of the model; charges no rounds) and validates capacity.
 func (m *Sim) Load(ts []Tuple) error {
-	m.data = append(m.data[:0], ts...)
+	return m.LoadFrom(len(ts), func(emit func(Tuple)) {
+		for _, t := range ts {
+			emit(t)
+		}
+	})
+}
+
+// LoadFrom is Load for inputs too large to materialize: fill streams the
+// tuples through emit (in placement order, on the calling goroutine) and the
+// store sinks them — spilling incrementally on budgeted simulators, so the
+// resident footprint never exceeds the budget even during load. total is a
+// capacity hint for the unbudgeted path.
+func (m *Sim) LoadFrom(total int, fill func(emit func(Tuple))) error {
+	m.ensureStore()
+	if err := m.st.loadFrom(total, fill); err != nil {
+		return err
+	}
 	return m.validate("load")
 }
 
 // validate re-checks the placement invariants after a primitive.
 func (m *Sim) validate(op string) error {
-	if len(m.data) > m.peakTotal {
-		m.peakTotal = len(m.data)
+	n := m.st.len()
+	if n > m.peakTotal {
+		m.peakTotal = n
 	}
 	load := 0
-	if len(m.data) > 0 {
-		load = (len(m.data) + m.p - 1) / m.p
+	if n > 0 {
+		load = (n + m.p - 1) / m.p
 	}
 	if load > m.peakLoad {
 		m.peakLoad = load
 	}
 	m.met.peakLoad.SetMax(int64(load))
-	m.met.peakTotal.SetMax(int64(len(m.data)))
+	m.met.peakTotal.SetMax(int64(n))
 	if load > m.s {
 		return fmt.Errorf("mpc: %s overflows local memory: %d tuples/machine > S=%d (P=%d, total=%d)",
-			op, load, m.s, m.p, len(m.data))
+			op, load, m.s, m.p, n)
 	}
 	return nil
 }
 
-// Sort globally sorts the resident tuples, charging SortRounds. The
-// canonical balanced placement is re-established, so per-machine load is
-// ⌈total/P⌉ afterwards.
+// Sort globally sorts the stored tuples, charging SortRounds. The canonical
+// balanced placement is re-established, so per-machine load is ⌈total/P⌉
+// afterwards.
 //
 // The in-process realization mirrors the [GSZ11] sample sort it simulates:
 // every machine block is sorted by its own goroutine and the sorted runs
-// merge in parallel (par.SortStable). Stability makes the result identical
-// to a serial stable sort at every worker count.
+// merge in parallel (par.SortStable); on a spilled store the merge continues
+// across run files as an external merge sort. Stability makes the result
+// identical to a serial stable sort at every worker count and budget.
 func (m *Sim) Sort(less func(a, b *Tuple) bool) error {
-	if cap(m.sortBuf) < len(m.data) {
-		m.sortBuf = make([]Tuple, len(m.data))
+	if err := m.st.sortLess(less); err != nil {
+		return err
 	}
-	par.SortStableBuf(m.workers, m.data, m.sortBuf[:len(m.data)], less)
 	return m.chargeSort()
 }
 
@@ -251,55 +327,27 @@ func (m *Sim) Sort(less func(a, b *Tuple) bool) error {
 // SortRounds charge (the [GSZ11] sample sort the simulator prices is
 // oblivious to how the in-process realization compares records); the
 // wall-clock realization is the par.RadixSorter LSD radix sort over the
-// arena's retained key/index/tuple buffers, so steady-state calls allocate
+// store's retained key/index/tuple buffers, so steady-state calls allocate
 // nothing. key must be a pure per-tuple function: it is invoked concurrently
 // from the worker pool.
 func (m *Sim) SortByKey(key func(t *Tuple) uint64) error {
-	n := len(m.data)
-	if cap(m.sortBuf) < n {
-		m.sortBuf = make([]Tuple, n)
+	if err := m.st.sortKey(key); err != nil {
+		return err
 	}
-	if cap(m.keys) < n {
-		m.keys = make([]uint64, n)
-		m.idx = make([]uint32, n)
-	}
-	keys, idx := m.keys[:n], m.idx[:n]
-	if m.workers <= 1 {
-		for i := range m.data {
-			keys[i] = key(&m.data[i])
-			idx[i] = uint32(i)
-		}
-	} else {
-		par.For(m.workers, n, func(i int) {
-			keys[i] = key(&m.data[i])
-			idx[i] = uint32(i)
-		})
-	}
-	m.sorter.Sort(m.workers, keys, idx)
-	// Apply the permutation through the retained tuple scratch, then swap
-	// the backing stores (ping-pong; no copy back).
-	dst := m.sortBuf[:n]
-	if m.workers <= 1 {
-		for i, j := range idx {
-			dst[i] = m.data[j]
-		}
-	} else {
-		par.For(m.workers, n, func(i int) { dst[i] = m.data[idx[i]] })
-	}
-	m.data, m.sortBuf = dst, m.data[:cap(m.data)]
 	return m.chargeSort()
 }
 
 // chargeSort books one global sort's model cost and re-validates placement.
 func (m *Sim) chargeSort() error {
+	n := m.st.len()
 	m.rounds += m.SortRounds()
 	m.sorts++
-	m.totalMoved += int64(len(m.data))
+	m.totalMoved += int64(n)
 	m.met.rounds.Add(int64(m.SortRounds()))
 	m.met.sorts.Inc()
-	m.met.moved.Add(int64(len(m.data)))
-	m.met.roundTuples.Observe(float64(len(m.data)))
-	m.met.shuffleBytes.Observe(float64(int64(len(m.data)) * tupleBytes))
+	m.met.moved.Add(int64(n))
+	m.met.roundTuples.Observe(float64(n))
+	m.met.shuffleBytes.Observe(float64(int64(n) * tupleBytes))
 	return m.validate("sort")
 }
 
@@ -307,118 +355,88 @@ func (m *Sim) chargeSort() error {
 // calling goroutine (callers carry cross-tuple state through it). Local: no
 // rounds. Cross-machine aggregation performed on top of a Scan must be
 // charged separately with ChargeTree; for the parallel segmented form see
-// SegmentStarts.
-func (m *Sim) Scan(f func(t *Tuple)) {
-	for i := range m.data {
-		f(&m.data[i])
-	}
-}
+// ForEachSegment. The error is always nil on a resident store; a spilled
+// store surfaces run-file I/O errors.
+func (m *Sim) Scan(f func(t *Tuple)) error { return m.st.scan(f) }
 
 // Update mutates tuples in place (local relabeling; no rounds). Each
 // simulated machine's pass runs on the worker pool, so f must be a pure
 // per-tuple function: it may be invoked concurrently and must touch only
 // the tuple it is handed.
-func (m *Sim) Update(f func(t *Tuple)) {
-	par.For(m.workers, len(m.data), func(i int) { f(&m.data[i]) })
-}
+func (m *Sim) Update(f func(t *Tuple)) error { return m.st.update(f) }
 
 // Filter drops tuples not accepted by keep (local; no rounds — machines
 // simply release memory). keep runs on the worker pool and must be a pure
 // per-tuple predicate; the surviving tuples retain their order, so the
 // result is identical at every worker count.
-func (m *Sim) Filter(keep func(t *Tuple) bool) {
-	mask := m.maskScratch(len(m.data))
-	if m.workers <= 1 {
-		for i := range m.data {
-			mask[i] = keep(&m.data[i])
-		}
-	} else {
-		par.For(m.workers, len(m.data), func(i int) { mask[i] = keep(&m.data[i]) })
+func (m *Sim) Filter(keep func(t *Tuple) bool) error { return m.st.filter(keep) }
+
+// ForEachSegment decomposes the stored tuples into maximal runs of
+// consecutive tuples for which sameKey holds between neighbors — the segment
+// decomposition that Section 6's "group by supernode, aggregate per group"
+// subroutines operate on — and fans fn out over them on the worker pool.
+// Segments shard contiguously and shard ids are always < Workers(), so
+// per-shard outputs concatenated in shard order equal segment order — the
+// same determinism rule as par.ForShard, and the mode-agnostic replacement
+// for the resident-only SegmentStarts/ForSegments pair. The seg slice is
+// only valid for the duration of fn.
+func (m *Sim) ForEachSegment(sameKey func(a, b *Tuple) bool, fn func(shard int, seg []Tuple)) error {
+	return m.st.segments(sameKey, fn)
+}
+
+// FilterSegments is ForEachSegment fused with a segmented Filter: decide
+// fills keep (pre-zeroed, len(seg)) for each segment and the store retains
+// exactly the tuples marked true, preserving order. Local: charges no
+// rounds; segmented aggregates computed inside decide are charged separately
+// with ChargeTree.
+func (m *Sim) FilterSegments(sameKey func(a, b *Tuple) bool, decide func(seg []Tuple, keep []bool)) error {
+	return m.st.filterSegments(sameKey, decide)
+}
+
+// resident returns the resident store backing the legacy slice-level
+// surface (Data, SegmentStarts, ForSegments, Keep, maskScratch), which has
+// no spilled counterpart.
+func (m *Sim) resident() *residentStore {
+	if m.res == nil {
+		panic("mpc: resident-only primitive called on a budgeted simulator")
 	}
-	m.Keep(mask)
+	return m.res
 }
 
 // Keep retains exactly the tuples whose mask entry is true, preserving
 // order (local compaction; no rounds). Survivors shift left in place —
-// machines release the freed memory; nothing is reallocated.
-func (m *Sim) Keep(mask []bool) {
-	if len(mask) != len(m.data) {
-		panic("mpc: Keep mask length mismatch")
-	}
-	w := 0
-	for i := range m.data {
-		if mask[i] {
-			if w != i {
-				m.data[w] = m.data[i]
-			}
-			w++
-		}
-	}
-	m.data = m.data[:w]
-}
+// machines release the freed memory; nothing is reallocated. Resident-only.
+func (m *Sim) Keep(mask []bool) { m.resident().keep(mask) }
 
 // maskScratch returns the arena's compaction mask sized to n. The slice is
 // invalidated by the next Filter call (Filter writes the same scratch).
-func (m *Sim) maskScratch(n int) []bool {
-	if cap(m.mask) < n {
-		m.mask = make([]bool, n)
-	}
-	return m.mask[:n]
-}
+func (m *Sim) maskScratch(n int) []bool { return m.resident().maskScratch(n) }
 
 // Data exposes the resident tuples in placement order. Callers must treat
-// the slice as read-only; it is invalidated by the next primitive. It backs
-// the segment-parallel passes of the driver, which read disjoint runs
-// concurrently.
-func (m *Sim) Data() []Tuple { return m.data }
+// the slice as read-only; it is invalidated by the next primitive.
+// Resident-only: a budgeted simulator has no single backing slice — use
+// Scan or ForEachSegment.
+func (m *Sim) Data() []Tuple { return m.resident().data }
 
 // SegmentStarts returns the start index of every maximal run of consecutive
-// resident tuples for which sameKey holds between neighbors — the segment
-// decomposition that Section 6's "group by supernode, aggregate per group"
-// subroutines operate on. Boundary detection is a local comparison with the
-// left neighbor, so it parallelizes over the machine blocks; the returned
-// starts are in increasing order and independent of the worker count. The
-// slice is backed by the arena and invalidated by the next SegmentStarts
-// call; steady-state calls allocate nothing.
+// resident tuples for which sameKey holds between neighbors. The slice is
+// backed by the arena and invalidated by the next SegmentStarts call;
+// steady-state calls allocate nothing. Resident-only; see ForEachSegment
+// for the mode-agnostic form.
 func (m *Sim) SegmentStarts(sameKey func(a, b *Tuple) bool) []int {
-	n := len(m.data)
-	if n == 0 {
-		return nil
-	}
-	if cap(m.isStart) < n {
-		m.isStart = make([]bool, n)
-		m.starts = make([]int, 0, n)
-	}
-	isStart := m.isStart[:n]
-	isStart[0] = true
-	if m.workers <= 1 {
-		for i := 0; i < n-1; i++ {
-			isStart[i+1] = !sameKey(&m.data[i], &m.data[i+1])
-		}
-	} else {
-		par.For(m.workers, n-1, func(i int) {
-			isStart[i+1] = !sameKey(&m.data[i], &m.data[i+1])
-		})
-	}
-	starts := m.starts[:0]
-	for i, s := range isStart {
-		if s {
-			starts = append(starts, i)
-		}
-	}
-	m.starts = starts
-	return starts
+	return m.resident().segmentStarts(sameKey)
 }
 
 // ForSegments fans fn out over the segments delimited by starts (as
 // returned by SegmentStarts): fn(shard, si, lo, hi) receives the si-th
 // segment as m.Data()[lo:hi]. Segments shard contiguously, so per-shard
 // outputs concatenated in shard order equal segment order — the same
-// determinism rule as par.ForShard.
+// determinism rule as par.ForShard. Resident-only.
 func (m *Sim) ForSegments(starts []int, fn func(shard, si, lo, hi int)) {
+	r := m.resident()
 	par.ForShard(m.workers, len(starts), func(shard, s0, s1 int) {
 		for si := s0; si < s1; si++ {
-			end := len(m.data)
+			end := len(r.data)
 			if si+1 < len(starts) {
 				end = starts[si+1]
 			}

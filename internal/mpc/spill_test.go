@@ -1,0 +1,73 @@
+package mpc
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mpcspanner/internal/graph"
+)
+
+// TestSpilledBuildBitIdentical is the out-of-core determinism contract at
+// the driver level: a build under a tight memory budget — every global sort
+// external, every pass streamed through run files — must reproduce the
+// unbudgeted build bit for bit (spanner edges and the full simulated cost
+// profile) at every worker count, for both sort families (radix-keyed and
+// the comparator fallback).
+func TestSpilledBuildBitIdentical(t *testing.T) {
+	t.Parallel()
+	graphs := map[string]*graph.Graph{
+		"gnp":  graph.Connectify(graph.GNP(3000, 8/3000.0, graph.UniformWeight(1, 100), 11), 50),
+		"grid": graph.Grid(40, 40, graph.UniformWeight(1, 9), 3),
+	}
+	const (
+		k, tk  = 8, 3
+		seed   = 42
+		gamma  = 0.5
+		budget = 64 << 10 // far below the ~670KB tuple footprint: forces spilling
+	)
+	for name, g := range graphs {
+		for _, keyed := range []bool{true, false} {
+			enc := newKeyEncoding(g, 0)
+			encName := "keyed"
+			if !keyed {
+				enc = nil // comparator fallback
+				encName = "less"
+			}
+			ref, err := buildSpanner(context.Background(), g, k, tk, seed, Options{Gamma: gamma}, enc)
+			if err != nil {
+				t.Fatalf("%s/%s resident build: %v", name, encName, err)
+			}
+			if ref.SpilledBytes != 0 || ref.MemoryBudget != 0 {
+				t.Fatalf("%s/%s resident build reports spilling: %+v", name, encName, ref)
+			}
+			for _, workers := range []int{1, 3, 0} {
+				got, err := buildSpanner(context.Background(), g, k, tk, seed,
+					Options{Gamma: gamma, Workers: workers, MemoryBudget: budget}, enc)
+				if err != nil {
+					t.Fatalf("%s/%s spilled build (workers=%d): %v", name, encName, workers, err)
+				}
+				if got.SpilledBytes == 0 || got.SpillRuns == 0 {
+					t.Errorf("%s/%s workers=%d: budget %d did not spill (%+v)",
+						name, encName, workers, budget, got)
+				}
+				if got.MemoryBudget != budget {
+					t.Errorf("%s/%s workers=%d: MemoryBudget = %d, want %d",
+						name, encName, workers, got.MemoryBudget, budget)
+				}
+				if !reflect.DeepEqual(got.EdgeIDs, ref.EdgeIDs) {
+					t.Errorf("%s/%s workers=%d: spilled spanner differs from resident (%d vs %d edges)",
+						name, encName, workers, len(got.EdgeIDs), len(ref.EdgeIDs))
+				}
+				if got.Rounds != ref.Rounds || got.Iterations != ref.Iterations ||
+					got.Epochs != ref.Epochs || got.Sorts != ref.Sorts ||
+					got.TreeOps != ref.TreeOps || got.TuplesMoved != ref.TuplesMoved ||
+					got.PeakMachineLoad != ref.PeakMachineLoad ||
+					got.PeakTotalTuples != ref.PeakTotalTuples {
+					t.Errorf("%s/%s workers=%d: cost profile diverged:\nspilled:  %+v\nresident: %+v",
+						name, encName, workers, got, ref)
+				}
+			}
+		}
+	}
+}

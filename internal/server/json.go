@@ -43,6 +43,24 @@ type Info struct {
 	// operator can confirm every replica answers cold queries the same way;
 	// nil when the backend does not expose one (bare test backends).
 	SSSP *SSSPInfo `json:"sssp,omitempty"`
+
+	// Memory reports the out-of-core profile of an in-process budgeted
+	// build; nil when the replica built fully resident or serves an
+	// artifact (no build phase ran here).
+	Memory *MemoryInfo `json:"memory,omitempty"`
+}
+
+// MemoryInfo is the out-of-core block of /v1/info: the byte budget the
+// replica's build ran under and how hard the extmem layer had to work to
+// stay inside it. Spilling never changes answers (the spilled build is
+// bit-identical to the resident one), so this block is operational truth
+// only: it tells a fleet operator which replicas paid disk traffic for
+// their build and how much.
+type MemoryInfo struct {
+	BudgetBytes  int64 `json:"budget_bytes"`
+	SpilledBytes int64 `json:"spilled_bytes"`
+	RunFiles     int64 `json:"run_files"`
+	MergePasses  int64 `json:"merge_passes"`
 }
 
 // SSSPInfo is the row-fill engine block of /v1/info: the engine name after

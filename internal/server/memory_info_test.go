@@ -1,0 +1,68 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mpcspanner/internal/server"
+)
+
+// TestInfoAdvertisesMemory pins the out-of-core block of /v1/info: a daemon
+// wired like cmd/oracled after a budgeted build — Config.Memory fed from
+// Result.MPC — advertises the budget and the spill traffic the build paid,
+// and the client helper decodes the same numbers back.
+func TestInfoAdvertisesMemory(t *testing.T) {
+	g := testGraph(t, 10, 2)
+	s := exactSession(t, g, nil, 1)
+	mem := &server.MemoryInfo{
+		BudgetBytes:  64 << 10,
+		SpilledBytes: 123456,
+		RunFiles:     7,
+		MergePasses:  2,
+	}
+	ts := httptest.NewServer(server.New(server.Config{
+		Backend: s, Graph: g, Memory: mem,
+	}).Handler())
+	defer ts.Close()
+
+	info := getInfo(t, ts.URL)
+	if info.Memory == nil {
+		t.Fatal("/v1/info omitted the memory block")
+	}
+	if *info.Memory != *mem {
+		t.Fatalf("memory block drifted on the wire: got %+v want %+v", info.Memory, mem)
+	}
+
+	cinfo, err := server.NewClient(ts.URL).Info(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cinfo.Memory == nil || *cinfo.Memory != *mem {
+		t.Fatalf("client decoded memory block %+v", cinfo.Memory)
+	}
+}
+
+// TestInfoOmitsMemoryWhenUnset pins the omitempty contract: resident and
+// artifact-serving replicas (no budgeted build ran) carry no memory block.
+func TestInfoOmitsMemoryWhenUnset(t *testing.T) {
+	g := testGraph(t, 10, 2)
+	s := exactSession(t, g, nil, 1)
+	ts := httptest.NewServer(server.New(server.Config{Backend: s, Graph: g}).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["memory"]; ok {
+		t.Fatal("/v1/info carries a memory block although none was configured")
+	}
+}

@@ -90,6 +90,11 @@ type Config struct {
 	// SSSP, when non-nil, is reported by /v1/info: the backend session's
 	// resolved row-fill engine (cmd/oracled passes Session.SSSP). Optional.
 	SSSP *SSSPInfo
+
+	// Memory, when non-nil, is reported by /v1/info: the out-of-core
+	// profile of the replica's in-process budgeted build (cmd/oracled
+	// fills it from Result.MPC when -memory was set). Optional.
+	Memory *MemoryInfo
 }
 
 // Server is one stateless oracled replica: an http.Handler plus the drain
@@ -337,7 +342,7 @@ func (s *Server) retryAfter() string {
 // limits, enough for a load generator to size a workload.
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	info := Info{MaxInflight: s.cfg.MaxInflight, MaxPairs: s.cfg.MaxPairs,
-		Artifact: s.cfg.Artifact, SSSP: s.cfg.SSSP}
+		Artifact: s.cfg.Artifact, SSSP: s.cfg.SSSP, Memory: s.cfg.Memory}
 	if s.cfg.Graph != nil {
 		info.N = s.cfg.Graph.N()
 		info.M = s.cfg.Graph.M()

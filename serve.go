@@ -60,7 +60,7 @@ func Serve(ctx context.Context, g *Graph, opts ...Option) (*Session, error) {
 			return nil, &OptionError{Field: "mpcspanner: Artifact", Value: "(set)",
 				Reason: "pass a nil graph when serving from an artifact"}
 		}
-		for _, field := range []string{"Seed", "T", "Gamma", "Progress", "Tracer", "Exact"} {
+		for _, field := range []string{"Seed", "T", "Gamma", "Progress", "Tracer", "Exact", "MemoryBudget"} {
 			if cfg.set[field] {
 				return nil, &OptionError{Field: "mpcspanner: " + field, Value: "(set)",
 					Reason: "not accepted together with WithArtifact (no build runs)"}
@@ -91,7 +91,7 @@ func Serve(ctx context.Context, g *Graph, opts ...Option) (*Session, error) {
 		// Exact mode runs no pipeline, so the pipeline-only options would
 		// be dead weight; reject them like every other foreign option.
 		// WithMetrics stays accepted: it instruments the serving oracle.
-		for _, field := range []string{"Seed", "T", "Gamma", "Progress", "Tracer"} {
+		for _, field := range []string{"Seed", "T", "Gamma", "Progress", "Tracer", "MemoryBudget"} {
 			if cfg.set[field] {
 				return nil, &OptionError{Field: "mpcspanner: " + field, Value: "(set)",
 					Reason: "not accepted together with WithExact (no build runs)"}
@@ -109,6 +109,7 @@ func Serve(ctx context.Context, g *Graph, opts ...Option) (*Session, error) {
 			Seed: cfg.seed, T: cfg.t, Gamma: cfg.gamma,
 			Workers: cfg.workers, Progress: traceProgress(cfg.tracer, cfg.progress),
 			Metrics: cfg.metrics, SSSP: cfg.sssp, Delta: cfg.delta,
+			MemoryBudget: cfg.memBudget,
 		})
 		if err != nil {
 			return nil, err
